@@ -1,0 +1,63 @@
+// Package xtsim_test hosts the top-level benchmark harness: one testing.B
+// benchmark per table and figure of the paper, each driving the
+// corresponding experiment from the registry, plus the ablation benches
+// for the design choices listed in DESIGN.md.
+//
+// Benchmarks run the experiments at reduced ("short") scale so that
+// `go test -bench=. -benchmem` regenerates every artifact's machinery in
+// minutes; `cmd/xtsim -run all` produces the full-scale tables.
+package xtsim_test
+
+import (
+	"io"
+	"testing"
+
+	"xtsim/internal/expt"
+)
+
+// benchExperiment runs one registered experiment per iteration, discarding
+// its table output (correctness of the numbers is covered by the unit
+// tests; the bench measures the cost of regenerating the artifact).
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := expt.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := expt.Options{Short: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Systems(b *testing.B)         { benchExperiment(b, "table1") }
+func BenchmarkFig1Lustre(b *testing.B)            { benchExperiment(b, "fig1") }
+func BenchmarkFig2NetworkLatency(b *testing.B)    { benchExperiment(b, "fig2") }
+func BenchmarkFig3NetworkBandwidth(b *testing.B)  { benchExperiment(b, "fig3") }
+func BenchmarkFig4FFT(b *testing.B)               { benchExperiment(b, "fig4") }
+func BenchmarkFig5DGEMM(b *testing.B)             { benchExperiment(b, "fig5") }
+func BenchmarkFig6RandomAccess(b *testing.B)      { benchExperiment(b, "fig6") }
+func BenchmarkFig7Stream(b *testing.B)            { benchExperiment(b, "fig7") }
+func BenchmarkFig8HPL(b *testing.B)               { benchExperiment(b, "fig8") }
+func BenchmarkFig9MPIFFT(b *testing.B)            { benchExperiment(b, "fig9") }
+func BenchmarkFig10PTRANS(b *testing.B)           { benchExperiment(b, "fig10") }
+func BenchmarkFig11MPIRA(b *testing.B)            { benchExperiment(b, "fig11") }
+func BenchmarkFig12BidirSmall(b *testing.B)       { benchExperiment(b, "fig12") }
+func BenchmarkFig13BidirLarge(b *testing.B)       { benchExperiment(b, "fig13") }
+func BenchmarkFig14CAMXT(b *testing.B)            { benchExperiment(b, "fig14") }
+func BenchmarkFig15CAMPlatforms(b *testing.B)     { benchExperiment(b, "fig15") }
+func BenchmarkFig16CAMPhases(b *testing.B)        { benchExperiment(b, "fig16") }
+func BenchmarkFig17POPXT(b *testing.B)            { benchExperiment(b, "fig17") }
+func BenchmarkFig18POPPlatforms(b *testing.B)     { benchExperiment(b, "fig18") }
+func BenchmarkFig19POPPhases(b *testing.B)        { benchExperiment(b, "fig19") }
+func BenchmarkFig20NAMDXT(b *testing.B)           { benchExperiment(b, "fig20") }
+func BenchmarkFig21NAMDModes(b *testing.B)        { benchExperiment(b, "fig21") }
+func BenchmarkFig22S3D(b *testing.B)              { benchExperiment(b, "fig22") }
+func BenchmarkFig23AORSA(b *testing.B)            { benchExperiment(b, "fig23") }
+func BenchmarkAblationVNMediation(b *testing.B)   { benchExperiment(b, "ablation-vn") }
+func BenchmarkAblationCollectives(b *testing.B)   { benchExperiment(b, "ablation-coll") }
+func BenchmarkAblationMemoryModel(b *testing.B)   { benchExperiment(b, "ablation-mem") }
+func BenchmarkAblationDDR2Isolation(b *testing.B) { benchExperiment(b, "ablation-ddr2") }

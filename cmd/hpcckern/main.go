@@ -1,0 +1,127 @@
+// Command hpcckern runs the real (host-executed) HPCC-style kernels on the
+// local machine — the same characterisation the paper performs on the XT4,
+// applied to wherever this binary runs. It reports the four corners of the
+// HPCC locality taxonomy (§5.1): DGEMM (temporal+spatial), FFT
+// (temporal-only), STREAM (spatial-only) and RandomAccess (neither).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"xtsim/internal/kernels"
+)
+
+func main() {
+	sizeMB := flag.Int("mem", 256, "approximate working-set size per kernel in MiB")
+	flag.Parse()
+
+	fmt.Println("HPCC-style host kernel characterisation (single core)")
+	fmt.Println("kernel         metric      value")
+
+	runDGEMM()
+	runFFT(*sizeMB)
+	runStream(*sizeMB)
+	runRandomAccess(*sizeMB)
+	runPTRANS(*sizeMB)
+}
+
+func runDGEMM() {
+	const n = 512
+	rng := rand.New(rand.NewSource(1))
+	a := kernels.NewDense(n, n)
+	b := kernels.NewDense(n, n)
+	c := kernels.NewDense(n, n)
+	for i := range a.Data {
+		a.Data[i] = rng.Float64()
+		b.Data[i] = rng.Float64()
+	}
+	start := time.Now()
+	iters := 0
+	for time.Since(start) < time.Second {
+		kernels.GEMM(a, b, c)
+		iters++
+	}
+	gf := kernels.DGEMMFlops(n, n, n) * float64(iters) / time.Since(start).Seconds() / 1e9
+	fmt.Printf("DGEMM          GFLOPS      %.2f\n", gf)
+}
+
+func runFFT(sizeMB int) {
+	n := 1 << 20
+	for 16*n < sizeMB<<20 {
+		n <<= 1
+	}
+	rng := rand.New(rand.NewSource(2))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	start := time.Now()
+	iters := 0
+	for time.Since(start) < time.Second {
+		kernels.FFT(x)
+		iters++
+	}
+	gf := kernels.FFTFlops(n) * float64(iters) / time.Since(start).Seconds() / 1e9
+	fmt.Printf("FFT(%8d)  GFLOPS      %.3f\n", n, gf)
+}
+
+func runStream(sizeMB int) {
+	n := sizeMB << 20 / 8 / 3
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+		c[i] = 2
+	}
+	start := time.Now()
+	iters := 0
+	for time.Since(start) < time.Second {
+		kernels.StreamTriad(a, b, c, 3)
+		iters++
+	}
+	gbs := kernels.TriadBytes(n) * float64(iters) / time.Since(start).Seconds() / 1e9
+	fmt.Printf("STREAM triad   GB/s        %.2f\n", gbs)
+}
+
+func runRandomAccess(sizeMB int) {
+	n := 1 << 20
+	for 8*n < sizeMB<<20 {
+		n <<= 1
+	}
+	table := make([]uint64, n)
+	kernels.RandomAccessInit(table)
+	seed := kernels.RAStart(0)
+	start := time.Now()
+	var updates int64
+	for time.Since(start) < time.Second {
+		seed = kernels.RandomAccessUpdate(table, seed, 1<<20)
+		updates += 1 << 20
+	}
+	gups := float64(updates) / time.Since(start).Seconds() / 1e9
+	fmt.Printf("RandomAccess   GUPS        %.4f\n", gups)
+}
+
+func runPTRANS(sizeMB int) {
+	n := 512
+	for 16*n*n < sizeMB<<20/2 {
+		n += 512
+	}
+	rng := rand.New(rand.NewSource(3))
+	a := kernels.NewDense(n, n)
+	c := kernels.NewDense(n, n)
+	for i := range a.Data {
+		a.Data[i] = rng.Float64()
+	}
+	start := time.Now()
+	iters := 0
+	for time.Since(start) < time.Second {
+		kernels.Transpose(c, a)
+		iters++
+	}
+	gbs := kernels.PTRANSBytes(n) * float64(iters) / time.Since(start).Seconds() / 1e9
+	fmt.Printf("PTRANS(%5d)  GB/s        %.2f\n", n, gbs)
+}

@@ -1,0 +1,66 @@
+// Command xtsim runs the paper-reproduction experiments: every table and
+// figure of "Cray XT4: An Early Evaluation for Petascale Scientific
+// Simulation" (SC'07), plus the model ablations.
+//
+// Usage:
+//
+//	xtsim -list                 list available experiments
+//	xtsim -run fig8             regenerate Figure 8
+//	xtsim -run all              regenerate everything
+//	xtsim -run fig17 -short     quick reduced-scale run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"xtsim/internal/expt"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	run := flag.String("run", "", "experiment id to run (or 'all')")
+	short := flag.Bool("short", false, "reduced-scale quick run")
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Println("Available experiments:")
+		for _, e := range expt.All() {
+			fmt.Printf("  %-14s %s: %s\n", e.ID, e.Artifact, e.Title)
+		}
+	case *run == "all":
+		opts := expt.Options{Short: *short}
+		for _, e := range expt.All() {
+			if err := runOne(e, opts); err != nil {
+				fmt.Fprintf(os.Stderr, "xtsim: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
+	case *run != "":
+		e, err := expt.ByID(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xtsim:", err)
+			os.Exit(1)
+		}
+		if err := runOne(e, expt.Options{Short: *short}); err != nil {
+			fmt.Fprintf(os.Stderr, "xtsim: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(e expt.Experiment, opts expt.Options) error {
+	fmt.Printf("== %s: %s ==\n", e.Artifact, e.Title)
+	start := time.Now()
+	if err := e.Run(os.Stdout, opts); err != nil {
+		return err
+	}
+	fmt.Printf("-- %s done in %v --\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,35 @@
+// Package xtsim is a deterministic simulator of the Cray XT3/XT4
+// supercomputer family, built to reproduce every experiment in "Cray XT4:
+// An Early Evaluation for Petascale Scientific Simulation" (Alam et al.,
+// SC'07).
+//
+// This root package is the public API: machine presets (XT3, XT4,
+// CombinedXT3XT4, the §6 comparison platforms), system construction
+// (NewSystem), the simulated MPI runtime (RunMPI and the P communicator
+// view), activity tracing (Recorder), and the experiment registry
+// (Experiments, RunExperiment) that regenerates each of the paper's
+// tables and figures. The implementation lives in internal/ packages —
+// see README.md for the architecture map.
+//
+// The common path is three calls:
+//
+//	sys := xtsim.NewSystem(xtsim.XT4(), xtsim.VN, 64)
+//	elapsed := xtsim.RunMPI(sys, xtsim.Auto, func(p *xtsim.P) {
+//	    p.Compute(xtsim.Work{Flops: 100e6, StreamBytes: 10e6})
+//	    p.Allreduce(xtsim.Sum, 8, []float64{1})
+//	})
+//	// elapsed is simulated seconds; runs are exactly reproducible.
+//
+// Beyond the library:
+//
+//   - cmd/xtsim regenerates every table and figure of the paper
+//     (xtsim -list shows the registry; see DESIGN.md for the index).
+//   - cmd/hpcckern characterises the host machine with the real HPCC-style
+//     kernels.
+//   - examples/ holds six runnable programs, including a tracing demo.
+//   - bench_test.go at this root exposes one testing.B benchmark per paper
+//     artifact.
+//
+// See README.md for a tour and EXPERIMENTS.md for paper-vs-simulated
+// results.
+package xtsim

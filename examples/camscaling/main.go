@@ -1,0 +1,46 @@
+// CAM scaling study: sweep the D-grid atmosphere benchmark across task
+// counts and run modes on the simulated XT4, reproducing the shape of the
+// paper's Figure 14 and printing the SN-vs-VN trade-off the paper
+// discusses (SN is ~10% faster per task but wastes half the cores).
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"xtsim/internal/apps/cam"
+	"xtsim/internal/machine"
+)
+
+func main() {
+	b := cam.DGrid()
+	fmt.Printf("CAM FV dycore, D-grid %dx%dx%d, %d physics steps/day\n\n",
+		b.NLat, b.NLon, b.NLev, b.PhysicsStepsPerDay)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "tasks\tgrid\tXT4-SN y/day\tXT4-VN y/day\tVN dyn s/day\tVN phys s/day")
+	for _, tasks := range []int{30, 60, 120, 240, 480, 960} {
+		cfg, err := cam.Decompose(tasks, b)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%d tasks: %v\n", tasks, err)
+			continue
+		}
+		sn := cam.Run(machine.XT4(), machine.SN, cfg, b)
+		vn := cam.Run(machine.XT4(), machine.VN, cfg, b)
+		fmt.Fprintf(tw, "%d\t%dx%d\t%.2f\t%.2f\t%.1f\t%.1f\n",
+			tasks, cfg.PLat, cfg.PVert, sn.SimYearsPerDay, vn.SimYearsPerDay,
+			vn.DynamicsSecPerDay, vn.PhysicsSecPerDay)
+	}
+	tw.Flush()
+
+	// The paper's equal-node comparison: 480 SN tasks vs 960 VN tasks
+	// occupy the same number of compute nodes.
+	snCfg, _ := cam.Decompose(480, b)
+	vnCfg, _ := cam.Decompose(960, b)
+	sn := cam.Run(machine.XT4(), machine.SN, snCfg, b)
+	vn := cam.Run(machine.XT4(), machine.VN, vnCfg, b)
+	fmt.Printf("\nequal nodes (480 SN vs 960 VN): %.2f vs %.2f years/day — VN +%.0f%%\n",
+		sn.SimYearsPerDay, vn.SimYearsPerDay,
+		100*(vn.SimYearsPerDay/sn.SimYearsPerDay-1))
+}

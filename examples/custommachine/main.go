@@ -1,0 +1,70 @@
+// Design-space exploration: define a hypothetical next-generation XT
+// ("XT5-like": quad-core, DDR2-800, doubled injection bandwidth) and see
+// which of the paper's workload classes benefit — the forward-looking
+// question the paper's §7 poses about multi-core Cray MPP systems.
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"xtsim/internal/apps/s3d"
+	"xtsim/internal/hpcc"
+	"xtsim/internal/machine"
+)
+
+// xt5like builds a user-defined machine from scratch, the way downstream
+// users of the library would model their own system.
+func xt5like() machine.Machine {
+	m := machine.XT4()
+	m.Name = "XT5-like"
+	m.CoresPerNode = 4 // quad-core site upgrade (§2 anticipates this)
+	m.CPU.ClockGHz = 2.3
+	m.Mem.Kind = "DDR2-800"
+	m.Mem.PeakBW = 12.8e9 // §2 quotes 12.8 GB/s for DDR2-800
+	m.NIC.InjBW = 6.0e9
+	m.NIC.SendOverheadUS = 1.8
+	m.NIC.RecvOverheadUS = 1.8
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func main() {
+	xt4 := machine.XT4()
+	xt5 := xt5like()
+	fmt.Println("baseline:", xt4)
+	fmt.Println("proposal:", xt5)
+	fmt.Println()
+
+	// HPCC locality corners, per core, with every core busy (EP): does
+	// the quad-core design starve its cores?
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "kernel\tXT4 SP\tXT4 EP\tXT5-like SP\tXT5-like EP\t[per core]")
+	type probe struct {
+		name string
+		f    func(machine.Machine) hpcc.SPEP
+	}
+	for _, pr := range []probe{
+		{"DGEMM GF", func(m machine.Machine) hpcc.SPEP { return hpcc.DGEMMNode(m, 2000) }},
+		{"FFT GF", func(m machine.Machine) hpcc.SPEP { return hpcc.FFTNode(m, 1<<20) }},
+		{"STREAM GB/s", func(m machine.Machine) hpcc.SPEP { return hpcc.StreamNode(m, 1<<24) }},
+		{"RandomAccess GUPS", func(m machine.Machine) hpcc.SPEP { return hpcc.RandomAccessNode(m, 1<<20) }},
+	} {
+		a := pr.f(xt4)
+		b := pr.f(xt5)
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t\n", pr.name, a.SP, a.EP, b.SP, b.EP)
+	}
+	tw.Flush()
+
+	// An application view: S3D weak scaling, all cores busy.
+	fmt.Println("\nS3D cost per grid point per step (µs), 512 cores, VN/all-cores:")
+	b := s3d.Weak50()
+	r4 := s3d.Run(xt4, machine.VN, 512, b)
+	r5 := s3d.Run(xt5, machine.VN, 512, b)
+	fmt.Printf("  XT4:      %.1f µs\n  XT5-like: %.1f µs\n", r4.CostPerPointUS, r5.CostPerPointUS)
+	fmt.Println("\nfour cores sharing one socket amplify the memory-contention tax unless bandwidth scales too —")
+	fmt.Println("the §7 conclusion, quantified before buying the hardware.")
+}

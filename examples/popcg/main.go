@@ -1,0 +1,57 @@
+// POP Chronopoulos–Gear ablation: demonstrates — with the real CG kernels
+// and the simulated machine together — why halving the Allreduce count
+// (the paper's C-G backport, §6.2) matters at scale.
+//
+// Part 1 runs the actual solvers on a small Poisson system and shows the
+// reduction-count bookkeeping. Part 2 replays the communication structure
+// on the simulated XT4 at increasing task counts, reproducing the Figure
+// 18/19 effect: identical convergence, half the latency-bound collectives,
+// and a growing throughput gap.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"xtsim/internal/apps/pop"
+	"xtsim/internal/kernels"
+	"xtsim/internal/machine"
+)
+
+func main() {
+	// --- Part 1: the algorithms themselves. ---
+	p := kernels.Poisson2D{NX: 48, NY: 48}
+	rng := rand.New(rand.NewSource(7))
+	b := make([]float64, p.Dim())
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x1 := make([]float64, p.Dim())
+	std := kernels.CG(p, x1, b, 1e-9, 10000)
+	x2 := make([]float64, p.Dim())
+	cg := kernels.CGChronopoulosGear(p, x2, b, 1e-9, 10000)
+	fmt.Println("conjugate-gradient solvers on a 48x48 Poisson system:")
+	fmt.Printf("  standard CG:         %4d iterations, %4d reductions (%.2f/iter)\n",
+		std.Iterations, std.Reductions, float64(std.Reductions-1)/float64(std.Iterations))
+	fmt.Printf("  Chronopoulos-Gear:   %4d iterations, %4d reductions (%.2f/iter)\n",
+		cg.Iterations, cg.Reductions, float64(cg.Reductions-1)/float64(cg.Iterations))
+
+	// --- Part 2: what that means on 10,000 cores. ---
+	fmt.Println("\nPOP 0.1-degree proxy on the simulated XT4 (VN mode):")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "tasks\tstd y/day\tC-G y/day\tstd barotropic s/day\tC-G barotropic s/day")
+	bench := pop.TenthDegree()
+	benchCG := bench
+	benchCG.ChronopoulosGear = true
+	for _, tasks := range []int{1000, 4000, 10000} {
+		rStd := pop.Run(machine.XT4(), machine.VN, tasks, bench)
+		rCG := pop.Run(machine.XT4(), machine.VN, tasks, benchCG)
+		fmt.Fprintf(tw, "%d\t%.2f\t%.2f\t%.1f\t%.1f\n",
+			tasks, rStd.SimYearsPerDay, rCG.SimYearsPerDay,
+			rStd.BarotropicSecPerDay, rCG.BarotropicSecPerDay)
+	}
+	tw.Flush()
+	fmt.Println("\nthe gap widens with task count: the barotropic phase is Allreduce-latency-bound.")
+}

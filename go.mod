@@ -1,0 +1,3 @@
+module xtsim
+
+go 1.22

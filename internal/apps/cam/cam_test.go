@@ -1,0 +1,208 @@
+package cam
+
+import (
+	"testing"
+
+	"xtsim/internal/machine"
+)
+
+func TestDecomposeRules(t *testing.T) {
+	b := DGrid()
+	// 1-D up to 120 tasks.
+	cfg, err := Decompose(120, b)
+	if err != nil || cfg.PVert != 1 || cfg.PLat != 120 {
+		t.Fatalf("Decompose(120) = %+v, %v", cfg, err)
+	}
+	// Above 120 requires the 2-D decomposition.
+	cfg, err = Decompose(240, b)
+	if err != nil || cfg.PVert < 2 {
+		t.Fatalf("Decompose(240) = %+v, %v", cfg, err)
+	}
+	if cfg.PLat*cfg.PVert != 240 {
+		t.Fatalf("grid %dx%d != 240", cfg.PLat, cfg.PVert)
+	}
+	// The paper's limit: 960 = 120 × 8.
+	cfg, err = Decompose(960, b)
+	if err != nil || cfg.PLat != 120 || cfg.PVert != 8 {
+		t.Fatalf("Decompose(960) = %+v, %v", cfg, err)
+	}
+	// Beyond 960 there is no valid decomposition.
+	if _, err := Decompose(1024, b); err == nil {
+		t.Fatal("Decompose(1024) should fail for the D-grid")
+	}
+	if _, err := Decompose(0, b); err == nil {
+		t.Fatal("Decompose(0) should fail")
+	}
+}
+
+func run(t *testing.T, m machine.Machine, mode machine.Mode, tasks int) Result {
+	t.Helper()
+	b := DGrid()
+	cfg, err := Decompose(tasks, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Run(m, mode, cfg, b)
+}
+
+func TestFig14XTComparison(t *testing.T) {
+	const tasks = 96
+	xt3 := run(t, machine.XT3(), machine.SN, tasks)
+	dcSN := run(t, machine.XT3DualCore(), machine.SN, tasks)
+	xt4SN := run(t, machine.XT4(), machine.SN, tasks)
+	xt4VN := run(t, machine.XT4(), machine.VN, tasks)
+
+	// Figure 14 ordering: XT4-SN > XT3-DC-SN > XT3, and SN > VN at equal
+	// task count.
+	if !(xt4SN.SimYearsPerDay > dcSN.SimYearsPerDay && dcSN.SimYearsPerDay > xt3.SimYearsPerDay) {
+		t.Errorf("throughput ordering wrong: XT4-SN %.2f, XT3-DC %.2f, XT3 %.2f",
+			xt4SN.SimYearsPerDay, dcSN.SimYearsPerDay, xt3.SimYearsPerDay)
+	}
+	if xt4SN.SimYearsPerDay <= xt4VN.SimYearsPerDay {
+		t.Errorf("SN (%.2f) should beat VN (%.2f) at equal tasks", xt4SN.SimYearsPerDay, xt4VN.SimYearsPerDay)
+	}
+	// SN's advantage is modest (paper: ~10%), far less than 2x.
+	if ratio := xt4SN.SimYearsPerDay / xt4VN.SimYearsPerDay; ratio > 1.5 {
+		t.Errorf("SN/VN ratio = %.2f, should be modest", ratio)
+	}
+}
+
+func TestFig14VNWinsOnEqualNodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs full-scale runs")
+	}
+	// §6.1: 504 SN tasks vs 960 VN tasks on ≈ the same node count: VN
+	// achieves ≈ 30% better throughput.
+	sn := run(t, machine.XT4(), machine.SN, 480)
+	vn := run(t, machine.XT4(), machine.VN, 960)
+	if vn.SimYearsPerDay <= sn.SimYearsPerDay {
+		t.Errorf("VN@960 (%.2f) should beat SN@480 (%.2f) on equal nodes", vn.SimYearsPerDay, sn.SimYearsPerDay)
+	}
+	gain := vn.SimYearsPerDay / sn.SimYearsPerDay
+	if gain < 1.05 || gain > 2.0 {
+		t.Errorf("equal-node VN gain = %.2f, want ≈ 1.3 (paper) to <2 (ideal)", gain)
+	}
+}
+
+func TestFig16DynamicsTwiceThePhysics(t *testing.T) {
+	r := run(t, machine.XT4(), machine.SN, 96)
+	ratio := r.DynamicsSecPerDay / r.PhysicsSecPerDay
+	if ratio < 1.5 || ratio > 2.8 {
+		t.Errorf("dynamics/physics = %.2f, want ≈ 2 (§6.1)", ratio)
+	}
+}
+
+func TestFig16VNPenaltyConcentratesInCommunication(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs full-scale runs")
+	}
+	// The SN-VN gap should be visible in both phases at high task counts
+	// (Alltoallv in physics load balancing, remaps in dynamics).
+	sn := run(t, machine.XT4(), machine.SN, 480)
+	vn := run(t, machine.XT4(), machine.VN, 480)
+	if vn.PhysicsSecPerDay <= sn.PhysicsSecPerDay {
+		t.Errorf("VN physics (%.2f) should cost more than SN (%.2f)", vn.PhysicsSecPerDay, sn.PhysicsSecPerDay)
+	}
+	if vn.DynamicsSecPerDay <= sn.DynamicsSecPerDay {
+		t.Errorf("VN dynamics (%.2f) should cost more than SN (%.2f)", vn.DynamicsSecPerDay, sn.DynamicsSecPerDay)
+	}
+}
+
+func TestScalingWithinDecompositionLimits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs full-scale runs")
+	}
+	small := run(t, machine.XT4(), machine.VN, 120)
+	large := run(t, machine.XT4(), machine.VN, 960)
+	if large.SimYearsPerDay <= small.SimYearsPerDay {
+		t.Errorf("CAM did not scale: %.2f @120 vs %.2f @960", small.SimYearsPerDay, large.SimYearsPerDay)
+	}
+}
+
+func TestFig15OpenMPHelpsIBM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs full-scale runs")
+	}
+	// On the p575, threading reduces MPI tasks and helps beyond the
+	// decomposition limit; BestForProcessors should pick threads > 1 for
+	// large processor counts.
+	b := DGrid()
+	r, err := BestForProcessors(machine.P575(), machine.VN, 960, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Processors > 960 {
+		t.Fatalf("used %d processors, budget 960", r.Processors)
+	}
+	single, err := BestForProcessors(machine.XT4(), machine.VN, 960, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Threads != 1 {
+		t.Fatalf("XT4 should not use OpenMP (threads=%d)", single.Threads)
+	}
+	if r.SimYearsPerDay <= 0 || single.SimYearsPerDay <= 0 {
+		t.Fatal("non-positive throughput")
+	}
+}
+
+func TestFig15XT4BracketsP575(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs full-scale runs")
+	}
+	// §6.1: "SN and VN mode XT4 performance brackets that of the IBM
+	// p575 cluster" for the D-grid benchmark.
+	b := DGrid()
+	const procs = 384
+	xtSN, err := BestForProcessors(machine.XT4(), machine.SN, procs, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xtVN, err := BestForProcessors(machine.XT4(), machine.VN, procs, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p575, err := BestForProcessors(machine.P575(), machine.VN, procs, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(xtSN.SimYearsPerDay >= p575.SimYearsPerDay*0.8 && xtVN.SimYearsPerDay <= p575.SimYearsPerDay*1.6) {
+		t.Errorf("bracket broken: XT4-SN %.2f, p575 %.2f, XT4-VN %.2f",
+			xtSN.SimYearsPerDay, p575.SimYearsPerDay, xtVN.SimYearsPerDay)
+	}
+}
+
+func TestOpenMPRejectedOnXT(t *testing.T) {
+	b := DGrid()
+	cfg, _ := Decompose(64, b)
+	cfg.Threads = 2
+	defer func() {
+		if recover() == nil {
+			t.Error("OpenMP on XT4 did not panic")
+		}
+	}()
+	Run(machine.XT4(), machine.SN, cfg, b)
+}
+
+func TestFig16AlltoallvDrivesPhysicsGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs full-scale runs")
+	}
+	// §6.1: at high task counts, most (the paper says 70%) of the SN/VN
+	// physics-phase difference is the MPI_Alltoallv used for load
+	// balancing and the land-model exchange.
+	sn := run(t, machine.XT4(), machine.SN, 480)
+	vn := run(t, machine.XT4(), machine.VN, 480)
+	physGap := vn.PhysicsSecPerDay - sn.PhysicsSecPerDay
+	a2avGap := vn.PhysicsAlltoallvSecPerDay - sn.PhysicsAlltoallvSecPerDay
+	if physGap <= 0 {
+		t.Fatalf("no SN/VN physics gap to attribute (%.3f)", physGap)
+	}
+	frac := a2avGap / physGap
+	if frac < 0.4 || frac > 1.05 {
+		t.Errorf("Alltoallv share of physics gap = %.2f, want a dominant share (paper: 0.7)", frac)
+	}
+	if vn.PhysicsAlltoallvSecPerDay <= 0 {
+		t.Error("no Alltoallv time recorded in the physics phase")
+	}
+}

@@ -1,0 +1,101 @@
+package namd
+
+import (
+	"testing"
+
+	"xtsim/internal/machine"
+)
+
+func TestFig20XT4ModestGainOverXT3(t *testing.T) {
+	// §6.3: MD is compute-intensive; XT4 offers "an order of 5%"
+	// performance gain over the (dual-core) XT3.
+	sys := OneMillion()
+	const tasks = 256
+	xt3 := Run(machine.XT3DualCore(), machine.VN, tasks, sys)
+	xt4 := Run(machine.XT4(), machine.VN, tasks, sys)
+	if xt4.SecondsPerStep >= xt3.SecondsPerStep {
+		t.Errorf("XT4 (%.4f s/step) should beat XT3-DC (%.4f)", xt4.SecondsPerStep, xt3.SecondsPerStep)
+	}
+	gain := xt3.SecondsPerStep / xt4.SecondsPerStep
+	if gain < 1.01 || gain > 1.25 {
+		t.Errorf("XT4 gain over XT3 = %.3f, want modest (≈ 1.05)", gain)
+	}
+}
+
+func TestFig20ScalingAndMillisecondAnchors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs full-scale (4k-12k task) runs")
+	}
+	// Figure 20: the 1M-atom system scales to 8192 cores reaching
+	// ≈ 9 ms/step; 3M atoms reaches ≈ 12 ms/step at 12000 cores.
+	sys1 := OneMillion()
+	small := Run(machine.XT4(), machine.VN, 256, sys1)
+	large := Run(machine.XT4(), machine.VN, 8192, sys1)
+	if large.SecondsPerStep >= small.SecondsPerStep {
+		t.Fatalf("no scaling: %.4f @256 vs %.4f @8192", small.SecondsPerStep, large.SecondsPerStep)
+	}
+	ms := large.SecondsPerStep * 1e3
+	if ms < 3 || ms > 27 {
+		t.Errorf("1M atoms @8192 = %.1f ms/step, want O(9)", ms)
+	}
+
+	sys3 := ThreeMillion()
+	big := Run(machine.XT4(), machine.VN, 12000, sys3)
+	ms3 := big.SecondsPerStep * 1e3
+	if ms3 < 4 || ms3 > 36 {
+		t.Errorf("3M atoms @12000 = %.1f ms/step, want O(12)", ms3)
+	}
+}
+
+func TestFig20FFTGridLimitsSmallSystem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs full-scale (4k-12k task) runs")
+	}
+	// The 1M-atom system's scaling is restricted by its FFT grid: going
+	// from 4096 to 8192 tasks helps the 3M system more than the 1M one.
+	s1, s3 := OneMillion(), ThreeMillion()
+	gain := func(sys System) float64 {
+		a := Run(machine.XT4(), machine.VN, 4096, sys)
+		b := Run(machine.XT4(), machine.VN, 8192, sys)
+		return a.SecondsPerStep / b.SecondsPerStep
+	}
+	g1 := gain(s1)
+	g3 := gain(s3)
+	if g3 <= g1 {
+		t.Errorf("3M-atom scaling gain (%.2f) should exceed FFT-limited 1M gain (%.2f)", g3, g1)
+	}
+}
+
+func TestFig21VNImpactSmallButGrowsWithTasks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs full-scale (4k-12k task) runs")
+	}
+	// Figure 21: SN vs VN differs by ≈ 10% or less at moderate counts,
+	// with the gap growing at large task counts.
+	sys := OneMillion()
+	snSmall := Run(machine.XT4(), machine.SN, 256, sys)
+	vnSmall := Run(machine.XT4(), machine.VN, 256, sys)
+	if vnSmall.SecondsPerStep <= snSmall.SecondsPerStep {
+		t.Errorf("VN (%.4f) should cost at least SN (%.4f)", vnSmall.SecondsPerStep, snSmall.SecondsPerStep)
+	}
+	smallGap := vnSmall.SecondsPerStep / snSmall.SecondsPerStep
+	if smallGap > 1.25 {
+		t.Errorf("VN/SN at 256 = %.2f, want ≤ ~1.1", smallGap)
+	}
+	snBig := Run(machine.XT4(), machine.SN, 4096, sys)
+	vnBig := Run(machine.XT4(), machine.VN, 4096, sys)
+	bigGap := vnBig.SecondsPerStep / snBig.SecondsPerStep
+	if bigGap < smallGap {
+		t.Errorf("VN gap should grow with tasks: %.3f @256 vs %.3f @4096", smallGap, bigGap)
+	}
+}
+
+func TestSocketsAccounting(t *testing.T) {
+	r := Run(machine.XT4(), machine.VN, 64, OneMillion())
+	if r.Sockets != 32 {
+		t.Fatalf("sockets = %d", r.Sockets)
+	}
+	if r.Tasks != 64 {
+		t.Fatalf("tasks = %d", r.Tasks)
+	}
+}

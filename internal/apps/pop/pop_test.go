@@ -1,0 +1,150 @@
+package pop
+
+import (
+	"testing"
+
+	"xtsim/internal/machine"
+)
+
+func TestDecompose(t *testing.T) {
+	px, py := decompose(16, 3600, 2400)
+	if px*py != 16 {
+		t.Fatalf("decompose(16) = %dx%d", px, py)
+	}
+	// Blocks should be roughly square: 3600/px ≈ 2400/py.
+	bx := 3600 / px
+	by := 2400 / py
+	if bx > 2*by || by > 2*bx {
+		t.Fatalf("unbalanced blocks %dx%d from %dx%d grid", bx, by, px, py)
+	}
+	if px, py := decompose(1, 100, 100); px != 1 || py != 1 {
+		t.Fatalf("decompose(1) = %dx%d", px, py)
+	}
+}
+
+func TestWrapNeighbours(t *testing.T) {
+	// 3x2 grid: task 0's west neighbour wraps to task 2.
+	if wrap(-1, 0, 3, 2) != 2 {
+		t.Fatalf("wrap(-1,0) = %d", wrap(-1, 0, 3, 2))
+	}
+	if wrap(0, 2, 3, 2) != 0 {
+		t.Fatalf("wrap(0,2) = %d", wrap(0, 2, 3, 2))
+	}
+}
+
+func TestFig17XT4BeatsXT3(t *testing.T) {
+	b := TenthDegree()
+	const tasks = 64
+	xt3 := Run(machine.XT3(), machine.SN, tasks, b)
+	xt4sn := Run(machine.XT4(), machine.SN, tasks, b)
+	if xt4sn.SimYearsPerDay <= xt3.SimYearsPerDay {
+		t.Errorf("XT4-SN (%.2f y/d) should beat XT3 (%.2f y/d)", xt4sn.SimYearsPerDay, xt3.SimYearsPerDay)
+	}
+}
+
+func TestFig17SNBeatsVNPerTaskButVNWinsPerNode(t *testing.T) {
+	b := TenthDegree()
+	sn := Run(machine.XT4(), machine.SN, 64, b)
+	vnSame := Run(machine.XT4(), machine.VN, 64, b)
+	vnDouble := Run(machine.XT4(), machine.VN, 128, b)
+	// Same task count: SN ahead (no contention).
+	if sn.SimYearsPerDay <= vnSame.SimYearsPerDay {
+		t.Errorf("SN@64 (%.2f) should beat VN@64 (%.2f)", sn.SimYearsPerDay, vnSame.SimYearsPerDay)
+	}
+	// Same node count (VN uses both cores): VN ahead — the paper reports
+	// ≈ 40%% better throughput at 10k VN vs 5k SN tasks.
+	if vnDouble.SimYearsPerDay <= sn.SimYearsPerDay {
+		t.Errorf("VN@128 (%.2f) should beat SN@64 (%.2f) on equal nodes", vnDouble.SimYearsPerDay, sn.SimYearsPerDay)
+	}
+	gain := vnDouble.SimYearsPerDay / sn.SimYearsPerDay
+	if gain < 1.15 || gain > 1.95 {
+		t.Errorf("VN-both-cores gain = %.2f, want ≈ 1.4", gain)
+	}
+}
+
+func TestFig19PhaseStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs full-scale (10k-task) runs")
+	}
+	// The crossover the paper shows: the baroclinic phase scales with
+	// task count while the latency-bound barotropic phase flattens and
+	// dominates at O(10k) tasks.
+	b := TenthDegree()
+	small := Run(machine.XT4(), machine.VN, 1024, b)
+	large := Run(machine.XT4(), machine.VN, 10000, b)
+
+	// Baroclinic scales well: ~10x tasks → cost drops by > 4x.
+	if large.BaroclinicSecPerDay >= small.BaroclinicSecPerDay/4 {
+		t.Errorf("baroclinic did not scale: %.1f s/day @1024 vs %.1f s/day @10000",
+			small.BaroclinicSecPerDay, large.BaroclinicSecPerDay)
+	}
+	// Barotropic is relatively flat (latency floor).
+	if large.BarotropicSecPerDay < small.BarotropicSecPerDay/4 {
+		t.Errorf("barotropic scaled too well (should be latency-bound): %.2f vs %.2f",
+			small.BarotropicSecPerDay, large.BarotropicSecPerDay)
+	}
+	// At large scale the barotropic phase dominates.
+	if large.BarotropicSecPerDay < large.BaroclinicSecPerDay {
+		t.Errorf("at 10000 tasks barotropic (%.2f) should dominate baroclinic (%.2f)",
+			large.BarotropicSecPerDay, large.BaroclinicSecPerDay)
+	}
+}
+
+func TestFig18ChronopoulosGearHelps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs full-scale (10k-task) runs")
+	}
+	// C-G pays off where Allreduce dominates — large task counts.
+	b := TenthDegree()
+	const tasks = 8192
+	std := Run(machine.XT4(), machine.VN, tasks, b)
+	bCG := b
+	bCG.ChronopoulosGear = true
+	cg := Run(machine.XT4(), machine.VN, tasks, bCG)
+
+	if std.ReductionsPerIter != 2 || cg.ReductionsPerIter != 1 {
+		t.Fatalf("reductions/iter = %d/%d, want 2/1", std.ReductionsPerIter, cg.ReductionsPerIter)
+	}
+	if cg.SimYearsPerDay <= std.SimYearsPerDay {
+		t.Errorf("C-G (%.2f y/d) should beat standard CG (%.2f y/d)", cg.SimYearsPerDay, std.SimYearsPerDay)
+	}
+	// The barotropic phase specifically should shrink toward half.
+	ratio := cg.BarotropicSecPerDay / std.BarotropicSecPerDay
+	if ratio < 0.4 || ratio > 0.85 {
+		t.Errorf("C-G barotropic ratio = %.2f, want ≈ 0.5-0.8", ratio)
+	}
+}
+
+func TestThroughputScalesWithTasks(t *testing.T) {
+	b := TenthDegree()
+	small := Run(machine.XT4(), machine.VN, 32, b)
+	large := Run(machine.XT4(), machine.VN, 256, b)
+	if large.SimYearsPerDay <= small.SimYearsPerDay {
+		t.Errorf("throughput did not scale: %.2f @32 vs %.2f @256", small.SimYearsPerDay, large.SimYearsPerDay)
+	}
+}
+
+func TestSocketsAccounting(t *testing.T) {
+	b := TenthDegree()
+	r := Run(machine.XT4(), machine.VN, 64, b)
+	if r.Sockets != 32 {
+		t.Fatalf("VN sockets = %d, want 32", r.Sockets)
+	}
+}
+
+func TestAllreduceAttributionGrowsWithScale(t *testing.T) {
+	// §6.2: "performance will not scale further unless the cost of the
+	// conjugate-gradient algorithm ... can be decreased" — the Allreduce
+	// share of the barotropic phase grows with task count.
+	b := TenthDegree()
+	small := Run(machine.XT4(), machine.VN, 64, b)
+	large := Run(machine.XT4(), machine.VN, 512, b)
+	if small.AllreduceSecPerDay <= 0 || large.AllreduceSecPerDay <= 0 {
+		t.Fatalf("no allreduce time recorded: %v / %v", small.AllreduceSecPerDay, large.AllreduceSecPerDay)
+	}
+	smallShare := small.AllreduceSecPerDay / small.BarotropicSecPerDay
+	largeShare := large.AllreduceSecPerDay / large.BarotropicSecPerDay
+	if largeShare <= smallShare {
+		t.Errorf("allreduce share should grow with scale: %.2f @64 vs %.2f @512", smallShare, largeShare)
+	}
+}

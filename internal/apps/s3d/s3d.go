@@ -1,0 +1,168 @@
+// Package s3d is a performance proxy for the S3D direct numerical
+// simulation combustion solver of §6.4: a 3-D structured Cartesian mesh
+// decomposed in 3-D over MPI tasks, advanced by a six-stage fourth-order
+// explicit Runge–Kutta method with eighth-order finite differences
+// (nine-point stencils → four ghost planes) and tenth-order filters
+// (eleven-point stencils → five ghost planes).
+//
+// S3D communicates only with nearest neighbours via non-blocking ghost
+// exchanges (collectives appear only in rare diagnostics), so it weak-
+// scales almost perfectly — Figure 22 — and its SN/VN gap is pure memory
+// contention: one task per node and two tasks per node on *different*
+// nodes take the same time, while two tasks sharing a node run ≈ 30%
+// slower (§6.4).
+package s3d
+
+import (
+	"fmt"
+
+	"xtsim/internal/core"
+	"xtsim/internal/kernels"
+	"xtsim/internal/machine"
+	"xtsim/internal/mpi"
+)
+
+// Benchmark describes the S3D weak-scaling configuration.
+type Benchmark struct {
+	// PointsPerEdge is the per-task subdomain edge (50 in the paper's
+	// weak-scaling test: 50³ grid points per MPI task).
+	PointsPerEdge int
+	// Variables is the number of field variables exchanged in ghost
+	// zones and advanced by the integrator (momentum, energy, species).
+	Variables int
+	// RKStages is the Runge–Kutta stage count (six in §6.4).
+	RKStages int
+}
+
+// Weak50 returns the paper's weak-scaling benchmark: 50³ points per task.
+func Weak50() Benchmark {
+	return Benchmark{PointsPerEdge: 50, Variables: 12, RKStages: 6}
+}
+
+// Calibration constants. The split between flop and memory demand is set
+// so that two tasks sharing a socket slow by ≈ 30% — the contention the
+// micro-benchmarks identified (§6.4 attributes exactly this).
+const (
+	// flopsPerPointPerStage: derivatives in three directions plus
+	// reaction-rate evaluation for every variable.
+	flopsPerPointPerStage = 2170
+	s3dFlopEff            = 0.15
+	// bytesPerPointPerStage: sweeps over all field variables with little
+	// cache reuse between direction passes. Together with the flop term
+	// this puts XT4 VN-mode cost ≈ 33 µs/point/step with a ≈ 30% VN
+	// sharing penalty (Figure 22 and §6.4).
+	bytesPerPointPerStage = 8300
+)
+
+// Result is one point of Figure 22.
+type Result struct {
+	Tasks   int
+	Sockets int
+	// SecondsPerStep is the simulated wall time of one RK step.
+	SecondsPerStep float64
+	// CostPerPointUS is Figure 22's metric: core time per grid point per
+	// time step, in microseconds.
+	CostPerPointUS float64
+}
+
+// decompose3 splits tasks into px×py×pz as cubically as possible.
+func decompose3(tasks int) (px, py, pz int) {
+	best := 1 << 62
+	px, py, pz = tasks, 1, 1
+	for x := 1; x*x*x <= tasks*4; x++ {
+		if tasks%x != 0 {
+			continue
+		}
+		rest := tasks / x
+		for y := x; y*y <= rest*2; y++ {
+			if rest%y != 0 {
+				continue
+			}
+			z := rest / y
+			spread := z - x
+			if z >= y && spread >= 0 && spread < best {
+				best = spread
+				px, py, pz = x, y, z
+			}
+		}
+	}
+	return px, py, pz
+}
+
+// Run executes the proxy: one full RK step (six stages of derivative
+// evaluation with ghost exchanges, then the filter pass).
+func Run(m machine.Machine, mode machine.Mode, tasks int, b Benchmark) Result {
+	if b.PointsPerEdge < 2*kernels.Filter10Width {
+		panic(fmt.Sprintf("s3d: subdomain edge %d smaller than filter stencil", b.PointsPerEdge))
+	}
+	px, py, pz := decompose3(tasks)
+	n := b.PointsPerEdge
+	pts := float64(n) * float64(n) * float64(n)
+
+	// Ghost-exchange payloads: 8th-order derivatives need 4 planes, the
+	// filter needs 5 (§6.4's nine- and eleven-point stencils).
+	derivBytes := kernels.HaloBytesPerFace(n, n, kernels.Deriv8Width, b.Variables)
+	filterBytes := kernels.HaloBytesPerFace(n, n, kernels.Filter10Width, b.Variables)
+
+	sys := core.NewSystem(m, mode, tasks)
+	elapsed := mpi.Run(sys, mpi.Auto, func(p *mpi.P) {
+		me := p.Rank()
+		mx := me % px
+		my := (me / px) % py
+		mz := me / (px * py)
+		neighbour := func(dx, dy, dz int) int {
+			x := (mx + dx + px) % px
+			y := (my + dy + py) % py
+			z := (mz + dz + pz) % pz
+			return (z*py+y)*px + x
+		}
+		exchange := func(bytes int64, tagBase int) {
+			var reqs []*mpi.Request
+			dirs := [6][3]int{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}}
+			for d, dir := range dirs {
+				nb := neighbour(dir[0], dir[1], dir[2])
+				if nb == me {
+					continue
+				}
+				reqs = append(reqs, p.Isend(nb, tagBase+d, bytes))
+				reqs = append(reqs, p.Irecv(nb, tagBase+(d^1)))
+			}
+			p.Wait(reqs...)
+		}
+
+		// Six RK stages: ghost exchange then derivative + RHS evaluation.
+		for s := 0; s < b.RKStages; s++ {
+			exchange(derivBytes, 10*s)
+			p.Compute(core.Work{
+				Flops:       pts * flopsPerPointPerStage,
+				FlopEff:     s3dFlopEff,
+				StreamBytes: pts * bytesPerPointPerStage,
+				LoopLen:     n,
+			})
+		}
+		// Filter pass once per step.
+		exchange(filterBytes, 100)
+		p.Compute(core.Work{
+			Flops:       pts * flopsPerPointPerStage * 0.4,
+			FlopEff:     s3dFlopEff,
+			StreamBytes: pts * bytesPerPointPerStage * 0.4,
+			LoopLen:     n,
+		})
+	})
+
+	return Result{
+		Tasks:          tasks,
+		Sockets:        sockets(m, mode, tasks),
+		SecondsPerStep: elapsed,
+		// Figure 22: core time per grid point per step. Each task is one
+		// core, so core-time = elapsed per task.
+		CostPerPointUS: elapsed / pts * 1e6,
+	}
+}
+
+func sockets(m machine.Machine, mode machine.Mode, tasks int) int {
+	if mode == machine.VN && m.CoresPerNode > 1 {
+		return (tasks + m.CoresPerNode - 1) / m.CoresPerNode
+	}
+	return tasks
+}

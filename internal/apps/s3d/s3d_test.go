@@ -1,0 +1,95 @@
+package s3d
+
+import (
+	"testing"
+
+	"xtsim/internal/machine"
+)
+
+func TestDecompose3(t *testing.T) {
+	for _, tc := range []struct{ tasks int }{{1}, {8}, {27}, {64}, {100}, {512}, {1000}} {
+		px, py, pz := decompose3(tc.tasks)
+		if px*py*pz != tc.tasks {
+			t.Errorf("decompose3(%d) = %dx%dx%d", tc.tasks, px, py, pz)
+		}
+		if pz > 8*px {
+			t.Errorf("decompose3(%d) too elongated: %dx%dx%d", tc.tasks, px, py, pz)
+		}
+	}
+	if px, py, pz := decompose3(64); px != 4 || py != 4 || pz != 4 {
+		t.Errorf("decompose3(64) = %dx%dx%d, want 4x4x4", px, py, pz)
+	}
+}
+
+func TestFig22WeakScalingFlat(t *testing.T) {
+	// S3D weak-scales: cost per grid point per step is nearly flat from
+	// 8 to 1000 cores (nearest-neighbour communication only).
+	b := Weak50()
+	small := Run(machine.XT4(), machine.VN, 8, b)
+	large := Run(machine.XT4(), machine.VN, 1000, b)
+	growth := large.CostPerPointUS / small.CostPerPointUS
+	if growth > 1.25 {
+		t.Errorf("weak scaling broke: cost/pt grew %.2fx from 8 to 1000 tasks", growth)
+	}
+}
+
+func TestFig22CostMagnitude(t *testing.T) {
+	// Figure 22's Y axis: roughly 25–45 µs per grid point per step on
+	// the XT machines in VN mode.
+	b := Weak50()
+	xt4 := Run(machine.XT4(), machine.VN, 64, b)
+	if xt4.CostPerPointUS < 20 || xt4.CostPerPointUS > 50 {
+		t.Errorf("XT4 cost/pt = %.1f µs, want ≈ 30", xt4.CostPerPointUS)
+	}
+	xt3 := Run(machine.XT3DualCore(), machine.VN, 64, b)
+	if xt3.CostPerPointUS <= xt4.CostPerPointUS {
+		t.Errorf("XT3-DC (%.1f µs) should cost more than XT4 (%.1f µs)", xt3.CostPerPointUS, xt4.CostPerPointUS)
+	}
+}
+
+func TestFig22VNPenaltyIsMemoryContention(t *testing.T) {
+	// §6.4's experiment: one task (SN) vs two tasks (VN, sharing a node)
+	// differ by ≈ 30%, while one task vs two tasks both in SN mode (on
+	// different nodes) take the same time — ruling out MPI overhead and
+	// implicating memory bandwidth contention.
+	b := Weak50()
+	oneSN := Run(machine.XT4(), machine.SN, 1, b)
+	twoSN := Run(machine.XT4(), machine.SN, 2, b)
+	twoVN := Run(machine.XT4(), machine.VN, 2, b)
+
+	// SN 1-task vs SN 2-tasks: same time (different nodes, no sharing).
+	if ratio := twoSN.SecondsPerStep / oneSN.SecondsPerStep; ratio > 1.05 {
+		t.Errorf("two SN tasks (%.3f) should match one (%.3f)", twoSN.SecondsPerStep, oneSN.SecondsPerStep)
+	}
+	// VN 2-tasks on one node: ≈ 30% slower.
+	ratio := twoVN.SecondsPerStep / oneSN.SecondsPerStep
+	if ratio < 1.2 || ratio > 1.45 {
+		t.Errorf("VN sharing penalty = %.2f, want ≈ 1.3 (§6.4)", ratio)
+	}
+	// Same behaviour on the XT3.
+	oneSN3 := Run(machine.XT3DualCore(), machine.SN, 1, b)
+	twoVN3 := Run(machine.XT3DualCore(), machine.VN, 2, b)
+	r3 := twoVN3.SecondsPerStep / oneSN3.SecondsPerStep
+	if r3 < 1.2 || r3 > 1.6 {
+		t.Errorf("XT3 VN sharing penalty = %.2f, want ≈ 1.3", r3)
+	}
+}
+
+func TestSmallSubdomainRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("tiny subdomain did not panic")
+		}
+	}()
+	Run(machine.XT4(), machine.SN, 1, Benchmark{PointsPerEdge: 4, Variables: 3, RKStages: 6})
+}
+
+func TestResultAccounting(t *testing.T) {
+	r := Run(machine.XT4(), machine.VN, 16, Weak50())
+	if r.Tasks != 16 || r.Sockets != 8 {
+		t.Fatalf("accounting: %+v", r)
+	}
+	if r.SecondsPerStep <= 0 {
+		t.Fatal("non-positive step time")
+	}
+}

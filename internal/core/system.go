@@ -1,0 +1,276 @@
+// Package core assembles the full simulated Cray XT3/XT4 system (and the
+// comparison platforms): compute nodes with shared per-socket memory
+// resources, the interconnect fabric, task placement in single-node (SN) or
+// virtual-node (VN) mode, and the roofline-style compute-cost model used by
+// every benchmark and application proxy.
+//
+// This package is the paper's "system under test" in executable form: an
+// experiment creates a System for a machine/mode/task-count triple, runs a
+// program on its ranks, and reads simulated wall-clock time.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xtsim/internal/machine"
+	"xtsim/internal/network"
+	"xtsim/internal/sim"
+)
+
+// Node is one compute node: a socket whose cores share the memory system.
+// The two processor-sharing resources embody the paper's central
+// observation — streaming bandwidth and random-access throughput are
+// per-socket, not per-core, so EP-mode and VN-mode runs halve the per-core
+// share (Figures 6, 7).
+type Node struct {
+	ID int
+	// Stream is the socket's achievable streaming bandwidth in bytes/s,
+	// shared between concurrently streaming cores.
+	Stream *sim.PSResource
+	// Random is the socket's random-access throughput in updates/s,
+	// shared between cores performing latency-bound access.
+	Random *sim.PSResource
+}
+
+// System is one experiment instance: a machine, a run mode, and a set of
+// MPI tasks placed onto nodes.
+type System struct {
+	Eng    *sim.Engine
+	M      machine.Machine
+	Mode   machine.Mode
+	Fabric *network.Fabric
+	Nodes  []*Node
+
+	// NumTasks is the number of MPI tasks (ranks).
+	NumTasks int
+	// TasksPerNode is 1 in SN mode and CoresPerNode in VN mode.
+	TasksPerNode int
+	// placement maps task id -> slot (node*TasksPerNode + core). The
+	// default is the identity (rank order fills nodes, the ALPS default
+	// on the XT); SetPlacement installs an alternative.
+	placement []int
+
+	// NoiseAmp optionally adds OS-jitter to compute phases as a uniform
+	// multiplicative perturbation in [0, NoiseAmp]. Catamount was designed
+	// to eliminate jitter (§2), so XT experiments leave this zero; it
+	// exists for the full-Linux counterfactual ablation.
+	NoiseAmp float64
+	// Tracer, when non-nil, receives a span for every compute phase (and,
+	// via the mpi package, every MPI operation), with simulated
+	// timestamps. internal/trace provides a recorder and exporters.
+	Tracer Tracer
+	// Rng drives noise; owned by the experiment for reproducibility.
+	Rng *rand.Rand
+}
+
+// NewSystem builds a system for nTasks MPI tasks on machine m in the given
+// mode. In SN mode each task has a node to itself; in VN mode tasks pack
+// CoresPerNode to a node. Single-core machines treat both modes
+// identically.
+func NewSystem(m machine.Machine, mode machine.Mode, nTasks int) *System {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	if nTasks < 1 {
+		panic(fmt.Sprintf("core: nTasks = %d", nTasks))
+	}
+	tasksPerNode := 1
+	if mode == machine.VN && m.CoresPerNode > 1 {
+		tasksPerNode = m.CoresPerNode
+	}
+	nNodes := (nTasks + tasksPerNode - 1) / tasksPerNode
+	if nNodes > m.TotalNodes {
+		panic(fmt.Sprintf("core: %d tasks in %v mode needs %d nodes but %s has %d",
+			nTasks, mode, nNodes, m.Name, m.TotalNodes))
+	}
+
+	eng := sim.NewEngine()
+	sys := &System{
+		Eng:          eng,
+		M:            m,
+		Mode:         mode,
+		Fabric:       network.New(eng, m, nNodes),
+		NumTasks:     nTasks,
+		TasksPerNode: tasksPerNode,
+		Rng:          rand.New(rand.NewSource(1)),
+	}
+	sys.Nodes = make([]*Node, sys.Fabric.Tor.Nodes())
+	for i := range sys.Nodes {
+		sys.Nodes[i] = &Node{
+			ID:     i,
+			Stream: sim.NewPSResource(eng, m.Mem.StreamBW()),
+			Random: sim.NewPSResource(eng, m.Mem.RandomRate()),
+		}
+	}
+	return sys
+}
+
+// Place maps a task id to its (node, core).
+func (s *System) Place(task int) (node, coreIdx int) {
+	if task < 0 || task >= s.NumTasks {
+		panic(fmt.Sprintf("core: task %d out of range [0,%d)", task, s.NumTasks))
+	}
+	slot := task
+	if s.placement != nil {
+		slot = s.placement[task]
+	}
+	return slot / s.TasksPerNode, slot % s.TasksPerNode
+}
+
+// SetPlacement installs a task-to-slot permutation (slot = node index ×
+// TasksPerNode + core index). Placement quality mattered operationally on
+// the XT machines: the paper notes PTRANS variance "due to job layout
+// topology" (§5.1.3). Must be called before Run; perm must be a
+// permutation of [0, NumTasks).
+func (s *System) SetPlacement(perm []int) {
+	if len(perm) != s.NumTasks {
+		panic(fmt.Sprintf("core: placement length %d != %d tasks", len(perm), s.NumTasks))
+	}
+	seen := make([]bool, s.NumTasks)
+	for _, slot := range perm {
+		if slot < 0 || slot >= s.NumTasks || seen[slot] {
+			panic(fmt.Sprintf("core: placement is not a permutation (slot %d)", slot))
+		}
+		seen[slot] = true
+	}
+	s.placement = append([]int(nil), perm...)
+}
+
+// TaskMemBytes reports the memory available to one task: the node memory
+// divided by the tasks sharing it (VN mode splits memory evenly — §2).
+func (s *System) TaskMemBytes() int64 {
+	nodeMem := s.M.Mem.BytesPerCore * int64(s.M.CoresPerNode)
+	return nodeMem / int64(s.TasksPerNode)
+}
+
+// Tracer receives activity spans from the simulation; implemented by
+// trace.Recorder.
+type Tracer interface {
+	Record(rank int, name string, start, end float64)
+}
+
+// Rank is one MPI task's execution context inside the simulation.
+type Rank struct {
+	sys  *System
+	Proc *sim.Proc
+	// ID is the MPI rank.
+	ID int
+	// NodeID and Core locate the task on the machine.
+	NodeID int
+	Core   int
+}
+
+// Run spawns body for every task and runs the simulation to completion,
+// returning the simulated makespan in seconds.
+func (s *System) Run(body func(r *Rank)) sim.Time {
+	for t := 0; t < s.NumTasks; t++ {
+		node, coreIdx := s.Place(t)
+		r := &Rank{sys: s, ID: t, NodeID: node, Core: coreIdx}
+		s.Eng.Spawn(fmt.Sprintf("rank%d", t), func(p *sim.Proc) {
+			r.Proc = p
+			body(r)
+		})
+	}
+	return s.Eng.Run()
+}
+
+// System returns the owning system.
+func (r *Rank) System() *System { return r.sys }
+
+// Node returns the node this rank runs on.
+func (r *Rank) Node() *Node { return r.sys.Nodes[r.NodeID] }
+
+// Now reports the current simulated time.
+func (r *Rank) Now() sim.Time { return r.Proc.Now() }
+
+// Work describes one compute phase in roofline terms. The three demand
+// classes map onto the HPCC locality taxonomy the paper uses (§5.1):
+// temporal-locality work is flop-bound, spatial-locality work is
+// stream-bound, and no-locality work is latency-bound.
+type Work struct {
+	// Flops is the floating-point operation count.
+	Flops float64
+	// FlopEff is the achievable fraction of per-core peak for this kernel
+	// (≈ 0.88 for DGEMM, much lower for sparse or irregular code). Zero
+	// means "use the machine's DGEMM efficiency".
+	FlopEff float64
+	// StreamBytes is the DRAM traffic with streaming (prefetchable)
+	// access, charged against the socket's shared streaming bandwidth.
+	StreamBytes float64
+	// RandomAccesses is the count of independent latency-bound accesses,
+	// charged against the socket's shared random-access throughput.
+	RandomAccesses float64
+	// LoopLen, when nonzero on a vector machine, derates flop efficiency
+	// for short vector lengths (the paper notes vector lengths below 128
+	// limiting X1E/ES performance at 960 tasks in Figure 15).
+	LoopLen int
+}
+
+// flopTime returns the pure compute time of w on machine m.
+func (w Work) flopTime(m machine.Machine) float64 {
+	if w.Flops <= 0 {
+		return 0
+	}
+	eff := w.FlopEff
+	if eff == 0 {
+		eff = m.CPU.DGEMMEff
+	}
+	if m.CPU.VectorLen > 0 && w.LoopLen > 0 {
+		// Hockney-style n½ model: efficiency = n/(n + n½) with n½ of
+		// roughly half the hardware vector length.
+		nHalf := float64(m.CPU.VectorLen) / 2
+		eff *= float64(w.LoopLen) / (float64(w.LoopLen) + nHalf)
+	}
+	rate := m.CPU.PeakGF() * 1e9 * eff
+	return w.Flops / rate
+}
+
+// Compute executes one compute phase: the flop time passes unshared (each
+// core has its own pipelines), while memory demands are served by the
+// node's shared resources. The phases are sequential (no overlap), which
+// is the conservative non-overlapped roofline; calibration constants
+// absorb the difference.
+func (r *Rank) Compute(w Work) {
+	if r.sys.Tracer != nil {
+		start := r.Proc.Now()
+		defer func() { r.sys.Tracer.Record(r.ID, "compute", start, r.Proc.Now()) }()
+	}
+	ft := w.flopTime(r.sys.M)
+	if r.sys.NoiseAmp > 0 {
+		ft *= 1 + r.sys.NoiseAmp*r.sys.Rng.Float64()
+	}
+	if ft > 0 {
+		r.Proc.Wait(ft)
+	}
+	if w.StreamBytes > 0 {
+		r.Node().Stream.Consume(r.Proc, w.StreamBytes)
+	}
+	if w.RandomAccesses > 0 {
+		r.Node().Random.Consume(r.Proc, w.RandomAccesses)
+	}
+}
+
+// ComputeSeconds blocks the rank for an explicit pre-computed duration;
+// used when a proxy has already folded its cost model into seconds.
+func (r *Rank) ComputeSeconds(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("core: negative compute time %g", d))
+	}
+	if d > 0 {
+		r.Proc.Wait(d)
+	}
+}
+
+// EstimateSeconds returns the time Compute would take with no contention
+// (all shared resources idle and un-shared). Used by analytic fast paths.
+func (r *Rank) EstimateSeconds(w Work) float64 {
+	t := w.flopTime(r.sys.M)
+	if w.StreamBytes > 0 {
+		t += w.StreamBytes / r.sys.M.Mem.StreamBW()
+	}
+	if w.RandomAccesses > 0 {
+		t += w.RandomAccesses / r.sys.M.Mem.RandomRate()
+	}
+	return t
+}

@@ -1,0 +1,281 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"xtsim/internal/core"
+	"xtsim/internal/hpcc"
+	"xtsim/internal/machine"
+	"xtsim/internal/mpi"
+)
+
+// Ablation experiments for the design choices called out in DESIGN.md.
+// They are not paper artifacts; they quantify how much each modelling
+// decision matters, which is the evidence that the reproduction's
+// conclusions are driven by the modelled mechanisms rather than luck.
+
+func init() {
+	register(Experiment{
+		ID: "ablation-vn", Artifact: "Ablation",
+		Title: "VN-mode NIC mediation penalty sweep (MPI-RA GUPS at 128 cores)",
+		Run:   runAblationVN,
+	})
+	register(Experiment{
+		ID: "ablation-coll", Artifact: "Ablation",
+		Title: "Algorithmic vs analytic collectives (64-rank Allreduce cost)",
+		Run:   runAblationColl,
+	})
+	register(Experiment{
+		ID: "ablation-mem", Artifact: "Ablation",
+		Title: "Processor-sharing vs static-split memory model (EP STREAM)",
+		Run:   runAblationMem,
+	})
+	register(Experiment{
+		ID: "ablation-ddr2", Artifact: "Ablation",
+		Title: "DDR2 upgrade in isolation: counterfactual XT4 with DDR-400",
+		Run:   runAblationDDR2,
+	})
+}
+
+func runAblationVN(w io.Writer, o Options) error {
+	t := newTable(w)
+	t.row("VN mediation (µs)", "MPI-RA GUPS (VN, 128 cores)", "PPmin latency VN (µs)")
+	cores := 128
+	if o.Short {
+		cores = 32
+	}
+	for _, med := range []float64{0, 1.5, 3.0, 6.0, 12.0} {
+		m := machine.XT4()
+		m.NIC.VNMediationUS = med
+		ra := hpcc.MPIRA(m, machine.VN, cores)
+		lat := hpcc.NetworkLatency(m, machine.VN, 16)
+		t.row(fmt.Sprintf("%.1f", med), f4(ra.Value), f2(lat.PPMin))
+	}
+	t.flush()
+	fmt.Fprintln(w, "(Figure 11's VN collapse requires a nonzero mediation cost; the paper expects software maturation to shrink it.)")
+	return nil
+}
+
+func runAblationColl(w io.Writer, o Options) error {
+	t := newTable(w)
+	t.row("ranks", "algorithmic (µs)", "analytic (µs)", "ratio")
+	sizes := []int{8, 32, 64, 128}
+	if o.Short {
+		sizes = []int{8, 32}
+	}
+	for _, n := range sizes {
+		run := func(mode mpi.CollectiveMode) float64 {
+			sys := coreSystemForAblation(machine.XT4(), machine.SN, n)
+			elapsed := mpi.Run(sys, mode, func(p *mpi.P) {
+				for i := 0; i < 10; i++ {
+					p.Allreduce(mpi.Sum, 8, nil)
+				}
+			})
+			return elapsed / 10 * 1e6
+		}
+		alg := run(mpi.Algorithmic)
+		ana := run(mpi.Analytic)
+		t.row(itoa(n), f2(alg), f2(ana), f2(alg/ana))
+	}
+	t.flush()
+	fmt.Fprintln(w, "(The closed form used beyond 384 ranks tracks the simulated algorithm within a small factor.)")
+	return nil
+}
+
+func runAblationMem(w io.Writer, _ Options) error {
+	// Compare the dynamic processor-sharing model against a static
+	// half-share approximation for asymmetric demands: core 0 streams 2x
+	// the bytes of core 1. Under PS, once the small job finishes the big
+	// one gets the whole socket; a static split would charge both cores
+	// half bandwidth for their full durations.
+	m := machine.XT4()
+	bw := m.Mem.StreamBW()
+	big := 2 * bw // 2s of solo streaming
+	small := bw   // 1s of solo streaming
+
+	sys := coreSystemForAblation(m, machine.VN, 2)
+	finish := make([]float64, 2)
+	sys.Run(func(r *core.Rank) {
+		bytes := small
+		if r.ID == 0 {
+			bytes = big
+		}
+		r.Compute(core.Work{StreamBytes: bytes})
+		finish[r.ID] = r.Now()
+	})
+
+	staticBig := big / (bw / 2)
+	staticSmall := small / (bw / 2)
+	t := newTable(w)
+	t.row("model", "big-job finish (s)", "small-job finish (s)")
+	t.row("processor sharing (simulated)", f3(finish[0]), f3(finish[1]))
+	t.row("static half-split (closed form)", f3(staticBig), f3(staticSmall))
+	t.flush()
+	fmt.Fprintln(w, "(PS is work-conserving: the asymmetric pair finishes in 3s total instead of the static model's 4s tail.)")
+	return nil
+}
+
+func runAblationDDR2(w io.Writer, _ Options) error {
+	t := newTable(w)
+	t.row("machine", "FFT SP GF", "STREAM SP GB/s", "DGEMM SP GF")
+	xt3 := machine.XT3DualCore()
+	counterfactual := machine.XT4()
+	counterfactual.Name = "XT4/DDR-400"
+	counterfactual.Mem = xt3.Mem // keep the old memory, new everything else
+	for _, m := range []machine.Machine{xt3, counterfactual, machine.XT4()} {
+		fft := hpcc.FFTNode(m, 1<<20)
+		str := hpcc.StreamNode(m, 1<<24)
+		dg := hpcc.DGEMMNode(m, 2000)
+		t.row(m.Name, f3(fft.SP), f2(str.SP), f2(dg.SP))
+	}
+	t.flush()
+	fmt.Fprintln(w, "(Most of the XT4's FFT gain disappears without DDR2 — the memory, not the clock, drives Figure 4, as §5.1.2 argues.)")
+	return nil
+}
+
+func init() {
+	register(Experiment{
+		ID: "ablation-jitter", Artifact: "Ablation",
+		Title: "OS jitter: why Catamount matters (Allreduce-heavy workload under noise)",
+		Run:   runAblationJitter,
+	})
+}
+
+// runAblationJitter quantifies the design rationale of §2: the XT3/XT4
+// compute nodes run the Catamount light-weight kernel specifically to
+// avoid OS interference. Injecting multiplicative compute noise into a
+// bulk-synchronous workload (compute + Allreduce per step, POP-barotropic
+// shaped) shows how a full-OS jitter profile would amplify collective
+// costs at scale: each Allreduce waits for the slowest of n draws.
+func runAblationJitter(w io.Writer, o Options) error {
+	tasks := 256
+	steps := 30
+	if o.Short {
+		tasks, steps = 64, 10
+	}
+	t := newTable(w)
+	t.row("noise amplitude", "makespan (ms)", "slowdown")
+	var base float64
+	for _, amp := range []float64{0, 0.01, 0.05, 0.1, 0.2} {
+		sys := coreSystemForAblation(machine.XT4(), machine.VN, tasks)
+		sys.NoiseAmp = amp
+		elapsed := mpi.Run(sys, mpi.Auto, func(p *mpi.P) {
+			for s := 0; s < steps; s++ {
+				p.Compute(core.Work{Flops: 2e6, FlopEff: 0.15})
+				p.Allreduce(mpi.Sum, 16, nil)
+			}
+		})
+		if amp == 0 {
+			base = elapsed
+		}
+		t.row(fmt.Sprintf("%.2f", amp), f2(elapsed*1e3), f2(elapsed/base))
+	}
+	t.flush()
+	fmt.Fprintln(w, "(Catamount's near-zero jitter keeps bulk-synchronous codes at the top row; a noisy full OS pays the max-of-n tax every collective.)")
+	return nil
+}
+
+func init() {
+	register(Experiment{
+		ID: "ablation-placement", Artifact: "Ablation",
+		Title: "Job layout topology: aligned vs random task placement (halo exchange)",
+		Run:   runAblationPlacement,
+	})
+}
+
+// runAblationPlacement quantifies §5.1.3's aside that PTRANS results vary
+// "due to job layout topology": the same 3-D halo-exchange pattern runs
+// with the default in-order placement and with a seeded random placement;
+// scattered neighbours ride longer, more contended routes.
+func runAblationPlacement(w io.Writer, o Options) error {
+	tasks := 512
+	if o.Short {
+		tasks = 64
+	}
+	side := 8
+	if tasks == 64 {
+		side = 4
+	}
+	const msgBytes = 512 << 10
+
+	runOnce := func(perm []int) float64 {
+		sys := coreSystemForAblation(machine.XT4(), machine.SN, tasks)
+		if perm != nil {
+			sys.SetPlacement(perm)
+		}
+		return mpi.Run(sys, mpi.Algorithmic, func(p *mpi.P) {
+			me := p.Rank()
+			mx, my, mz := me%side, (me/side)%side, me/(side*side)
+			neighbour := func(dx, dy, dz int) int {
+				return ((mz+dz+side)%side*side+(my+dy+side)%side)*side + (mx+dx+side)%side
+			}
+			var reqs []*mpi.Request
+			dirs := [6][3]int{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}}
+			for d, dir := range dirs {
+				nb := neighbour(dir[0], dir[1], dir[2])
+				reqs = append(reqs, p.Isend(nb, 10+d, msgBytes))
+				reqs = append(reqs, p.Irecv(nb, 10+(d^1)))
+			}
+			p.Wait(reqs...)
+		})
+	}
+
+	aligned := runOnce(nil)
+	rng := rand.New(rand.NewSource(7))
+	random := runOnce(rng.Perm(tasks))
+
+	t := newTable(w)
+	t.row("placement", "halo exchange (ms)", "vs aligned")
+	t.row("in-order (ALPS default)", f2(aligned*1e3), "1.00")
+	t.row("random scatter", f2(random*1e3), f2(random/aligned))
+	t.flush()
+	fmt.Fprintln(w, "(Scattered placement lengthens routes and concentrates link load — the layout variance the paper observes in PTRANS.)")
+	return nil
+}
+
+func init() {
+	register(Experiment{
+		ID: "ablation-ring", Artifact: "Ablation",
+		Title: "Allreduce algorithm crossover: recursive doubling vs ring (16 ranks)",
+		Run:   runAblationRing,
+	})
+}
+
+// runAblationRing locates the payload size where the bandwidth-optimal
+// ring Allreduce overtakes latency-optimal recursive doubling on the
+// modelled SeaStar — and shows why POP's 8–16-byte reductions always sit
+// on the recursive-doubling (latency) side, which is exactly why C-G's
+// halved call count is the lever that matters (§6.2).
+func runAblationRing(w io.Writer, o Options) error {
+	ranks := 16
+	sizes := []int64{8, 1 << 10, 32 << 10, 256 << 10, 1 << 20, 8 << 20}
+	if o.Short {
+		sizes = []int64{8, 1 << 20}
+	}
+	t := newTable(w)
+	t.row("bytes", "recursive doubling (µs)", "ring (µs)", "winner")
+	for _, size := range sizes {
+		run := func(ring bool) float64 {
+			sys := coreSystemForAblation(machine.XT4(), machine.SN, ranks)
+			return mpi.Run(sys, mpi.Algorithmic, func(p *mpi.P) {
+				if ring {
+					p.AllreduceRing(mpi.Sum, size, nil)
+				} else {
+					p.Allreduce(mpi.Sum, size, nil)
+				}
+			}) * 1e6
+		}
+		rd := run(false)
+		ring := run(true)
+		winner := "doubling"
+		if ring < rd {
+			winner = "ring"
+		}
+		t.row(fmt.Sprintf("%d", size), f2(rd), f2(ring), winner)
+	}
+	t.flush()
+	fmt.Fprintln(w, "(POP's barotropic Allreduces are 8-16 bytes: permanently latency-bound, hence the C-G call-count lever.)")
+	return nil
+}

@@ -1,0 +1,90 @@
+// Package expt is the experiment registry: every table and figure of the
+// paper (and each ablation from DESIGN.md) is an Experiment that runs the
+// simulator and prints the corresponding rows or series. The registry is
+// shared by cmd/xtsim, the top-level benchmark suite, and EXPERIMENTS.md.
+package expt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// Options tunes experiment scale.
+type Options struct {
+	// Short reduces task counts and sweep sizes for quick runs (used by
+	// `go test -short` and `xtsim -short`). The shapes remain, the
+	// extreme-scale points are dropped.
+	Short bool
+}
+
+// Experiment regenerates one artifact of the paper.
+type Experiment struct {
+	// ID is the command-line handle, e.g. "fig8".
+	ID string
+	// Artifact names the paper artifact, e.g. "Figure 8".
+	Artifact string
+	// Title is the artifact's caption.
+	Title string
+	// Run executes the experiment and writes its table to w.
+	Run func(w io.Writer, opts Options) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) {
+	registry = append(registry, e)
+}
+
+// All returns every registered experiment in registration (paper) order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range registry {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("expt: unknown experiment %q (have %v)", id, ids)
+}
+
+// table is a small helper for aligned output.
+type table struct {
+	tw *tabwriter.Writer
+}
+
+func newTable(w io.Writer) *table {
+	return &table{tw: tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)}
+}
+
+func (t *table) row(cells ...string) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(t.tw, "\t")
+		}
+		fmt.Fprint(t.tw, c)
+	}
+	fmt.Fprintln(t.tw)
+}
+
+func (t *table) flush() { t.tw.Flush() }
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// header prints the experiment banner.
+func header(w io.Writer, e Experiment) {
+	fmt.Fprintf(w, "== %s: %s ==\n", e.Artifact, e.Title)
+}

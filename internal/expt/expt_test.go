@@ -1,0 +1,86 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
+	want := []string{"table1"}
+	for i := 1; i <= 23; i++ {
+		want = append(want, "fig"+itoa(i))
+	}
+	have := map[string]bool{}
+	for _, e := range All() {
+		have[e.ID] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("missing experiment for %s", id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("fig8")
+	if err != nil || e.Artifact != "Figure 8" {
+		t.Fatalf("ByID(fig8) = %+v, %v", e, err)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Fatal("unknown id should error")
+	}
+}
+
+// TestEveryExperimentRunsShort is the whole-system integration test: every
+// registered experiment (every table, figure and ablation) must execute at
+// reduced scale and emit a non-empty table.
+func TestEveryExperimentRunsShort(t *testing.T) {
+	if testing.Short() {
+		// Even reduced scale is minutes on a 1-CPU box; this is the
+		// integration test for the full run.
+		t.Skip("integration sweep runs in full mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, Options{Short: true}); err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+			// Every output should have at least a header and one data row.
+			if lines := strings.Count(buf.String(), "\n"); lines < 2 {
+				t.Fatalf("%s output too short:\n%s", e.ID, buf.String())
+			}
+		})
+	}
+}
+
+func TestTable1Content(t *testing.T) {
+	e, _ := ByID("table1")
+	var buf bytes.Buffer
+	if err := e.Run(&buf, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"DDR2-667", "SeaStar2", "12592", "5212", "2.20GB/s", "10.60GB/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableFormatter(t *testing.T) {
+	var buf bytes.Buffer
+	tab := newTable(&buf)
+	tab.row("a", "b")
+	tab.row("long-cell", "x")
+	tab.flush()
+	out := buf.String()
+	if !strings.Contains(out, "long-cell") || strings.Count(out, "\n") != 2 {
+		t.Fatalf("formatter output:\n%q", out)
+	}
+}

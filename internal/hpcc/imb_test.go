@@ -1,0 +1,69 @@
+package hpcc
+
+import (
+	"testing"
+
+	"xtsim/internal/machine"
+)
+
+var imbSizes = []int64{8, 4096, 1 << 20}
+
+func TestIMBPingPongLatencyAndBandwidth(t *testing.T) {
+	pts := IMBPingPong(machine.XT4(), machine.SN, imbSizes)
+	if len(pts) != len(imbSizes) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Small-message one-way latency ≈ the Figure 2 anchor.
+	us := pts[0].Seconds * 1e6
+	if us < 4.0 || us > 5.0 {
+		t.Errorf("8-byte one-way = %.2f µs, want ≈ 4.5", us)
+	}
+	// Large-message bandwidth ≈ the §5.1.1 anchor.
+	if bw := pts[len(pts)-1].BW; bw < 1.8e9 || bw > 2.2e9 {
+		t.Errorf("1 MiB bandwidth = %.3g, want ≈ 2 GB/s", bw)
+	}
+	// Monotone: bigger messages, more bandwidth.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].BW <= pts[i-1].BW {
+			t.Errorf("bandwidth not increasing: %+v", pts)
+		}
+	}
+}
+
+func TestIMBPingPongVNSlower(t *testing.T) {
+	sn := IMBPingPong(machine.XT4(), machine.SN, []int64{8})
+	vn := IMBPingPong(machine.XT4(), machine.VN, []int64{8})
+	if vn[0].Seconds <= sn[0].Seconds {
+		t.Errorf("VN ping-pong (%.3g) should be slower than SN (%.3g)", vn[0].Seconds, sn[0].Seconds)
+	}
+}
+
+func TestIMBPingPingBidirectional(t *testing.T) {
+	// PingPing moves data both ways at once; per-direction bandwidth
+	// should be close to PingPong's (separate directions of the link).
+	pp := IMBPingPong(machine.XT4(), machine.SN, []int64{1 << 20})
+	p2 := IMBPingPing(machine.XT4(), machine.SN, []int64{1 << 20})
+	ratio := p2[0].BW / pp[0].BW
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Errorf("PingPing/PingPong per-direction ratio = %.2f, want ≈ 1", ratio)
+	}
+}
+
+func TestIMBExchangeScales(t *testing.T) {
+	pts := IMBExchange(machine.XT4(), machine.SN, 8, []int64{64 << 10})
+	if pts[0].Seconds <= 0 || pts[0].BW <= 0 {
+		t.Fatalf("exchange point = %+v", pts[0])
+	}
+}
+
+func TestIMBAllreduceGrowsWithRanksAndSize(t *testing.T) {
+	small := IMBAllreduce(machine.XT4(), machine.SN, 4, []int64{8})
+	big := IMBAllreduce(machine.XT4(), machine.SN, 32, []int64{8})
+	if big[0].Seconds <= small[0].Seconds {
+		t.Errorf("allreduce should slow with more ranks: %.3g vs %.3g", small[0].Seconds, big[0].Seconds)
+	}
+	bySize := IMBAllreduce(machine.XT4(), machine.SN, 8, []int64{8, 1 << 20})
+	if bySize[1].Seconds <= bySize[0].Seconds {
+		t.Errorf("allreduce should slow with payload: %+v", bySize)
+	}
+}

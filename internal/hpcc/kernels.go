@@ -1,0 +1,334 @@
+// Package hpcc implements the High Performance Computing Challenge
+// benchmark suite on the simulated machines: the single-process (SP) and
+// embarrassingly-parallel (EP) node benchmarks of Figures 4–7, the network
+// latency/bandwidth characterisation of Figures 2–3, the global benchmarks
+// of Figures 8–11, and the bidirectional bandwidth experiments of Figures
+// 12–13.
+//
+// Workloads are expressed in the core.Work roofline vocabulary with
+// operation counts from the real kernels package; the efficiency and
+// intensity constants below are calibrated against the paper's XT3
+// measurements, after which the XT4 numbers are predictions of the model.
+package hpcc
+
+import (
+	"math"
+
+	"xtsim/internal/core"
+	"xtsim/internal/kernels"
+	"xtsim/internal/machine"
+	"xtsim/internal/mpi"
+)
+
+// Calibration constants (documented in EXPERIMENTS.md):
+const (
+	// fftFlopEff is the fraction of peak an out-of-cache HPCC FFT
+	// achieves when compute-bound (radix-2 butterflies vectorise poorly).
+	fftFlopEff = 0.164
+	// fftIntensity is the effective flops-per-DRAM-byte of the blocked
+	// FFT; together these reproduce XT3 ≈ 0.45 GF and predict XT4 ≈ 0.57
+	// GF — the paper's ~25% memory-driven improvement (Figure 4).
+	fftIntensity = 0.25
+	// hplFlopEff is sustained HPL efficiency relative to DGEMM peak
+	// (panel factorisation and pivoting overheads).
+	hplFlopEff = 0.82
+)
+
+// FFTWork returns the roofline demands of an n-point complex FFT.
+func FFTWork(n int) core.Work {
+	fl := kernels.FFTFlops(n)
+	return core.Work{
+		Flops:       fl,
+		FlopEff:     fftFlopEff,
+		StreamBytes: fl / fftIntensity,
+		LoopLen:     n / 2,
+	}
+}
+
+// DGEMMWork returns the demands of an n×n×n matrix multiply. A
+// cache-blocked DGEMM re-reads each operand from DRAM only a handful of
+// times (≈ n/blockEdge passes collapse to ~4 with L2 blocking), so DRAM
+// traffic is negligible against the O(n³) flops — the EP-immunity of
+// Figure 5.
+func DGEMMWork(n int) core.Work {
+	fl := kernels.DGEMMFlops(n, n, n)
+	return core.Work{
+		Flops:       fl,
+		FlopEff:     0, // machine's DGEMM efficiency
+		StreamBytes: 96 * float64(n) * float64(n),
+		LoopLen:     n,
+	}
+}
+
+// StreamTriadWork returns the demands of an n-element STREAM triad.
+func StreamTriadWork(n int) core.Work {
+	return core.Work{StreamBytes: kernels.TriadBytes(n)}
+}
+
+// RandomAccessWork returns the demands of nUpdates GUPS updates.
+func RandomAccessWork(nUpdates int64) core.Work {
+	return core.Work{RandomAccesses: float64(nUpdates)}
+}
+
+// SPEP holds a per-core rate in SP (one core active) and EP (all cores
+// active) modes — the paired bars of Figures 4–7.
+type SPEP struct {
+	SP, EP float64
+}
+
+// runNode measures the per-core rate of work w: SP on a single task, EP
+// with every core of one node busy. rate = metric/second where metric is
+// the caller's numerator (flops, bytes, updates).
+func runNode(m machine.Machine, w core.Work, metric float64) SPEP {
+	var out SPEP
+
+	sp := core.NewSystem(m, machine.SN, 1)
+	spT := sp.Run(func(r *core.Rank) { r.Compute(w) })
+	out.SP = metric / spT
+
+	if m.CoresPerNode == 1 {
+		out.EP = out.SP
+		return out
+	}
+	ep := core.NewSystem(m, machine.VN, m.CoresPerNode)
+	epT := ep.Run(func(r *core.Rank) { r.Compute(w) })
+	out.EP = metric / epT
+	return out
+}
+
+// FFTNode runs the SP/EP FFT benchmark (GFLOP/s per core) — Figure 4.
+func FFTNode(m machine.Machine, n int) SPEP {
+	w := FFTWork(n)
+	r := runNode(m, w, w.Flops)
+	r.SP /= 1e9
+	r.EP /= 1e9
+	return r
+}
+
+// DGEMMNode runs the SP/EP DGEMM benchmark (GFLOP/s per core) — Figure 5.
+func DGEMMNode(m machine.Machine, n int) SPEP {
+	w := DGEMMWork(n)
+	r := runNode(m, w, w.Flops)
+	r.SP /= 1e9
+	r.EP /= 1e9
+	return r
+}
+
+// RandomAccessNode runs the SP/EP RandomAccess benchmark (GUPS per core) —
+// Figure 6.
+func RandomAccessNode(m machine.Machine, nUpdates int64) SPEP {
+	w := RandomAccessWork(nUpdates)
+	r := runNode(m, w, float64(nUpdates))
+	r.SP /= 1e9
+	r.EP /= 1e9
+	return r
+}
+
+// StreamNode runs the SP/EP STREAM triad benchmark (GB/s per core) —
+// Figure 7.
+func StreamNode(m machine.Machine, n int) SPEP {
+	w := StreamTriadWork(n)
+	r := runNode(m, w, w.StreamBytes)
+	r.SP /= 1e9
+	r.EP /= 1e9
+	return r
+}
+
+// GlobalResult is one point of a Figures 8–11 scaling curve.
+type GlobalResult struct {
+	Tasks   int
+	Sockets int
+	// Value is the benchmark metric (TFLOPS for HPL, GFLOPS for MPI-FFT,
+	// GB/s for PTRANS, GUPS for MPI-RA).
+	Value float64
+	// Seconds is the simulated wall time of the measured section.
+	Seconds float64
+}
+
+// HPL runs the global High Performance LINPACK proxy: a block-cyclic
+// right-looking LU at coarse panel granularity. Panel factorisation and
+// broadcast costs ride the simulated network; trailing updates are DGEMM
+// work. Figure 8.
+func HPL(m machine.Machine, mode machine.Mode, tasks int) GlobalResult {
+	// Process grid: pr x pc as square as possible.
+	pr, pc := nearSquare(tasks)
+	// Problem size grows with sqrt(tasks) (memory-per-task-constant HPL
+	// scaling, shrunk for simulation tractability) and the panel count is
+	// fixed so event counts stay bounded.
+	n := int(4000 * math.Sqrt(float64(tasks)))
+	// The simulation advances in coarse panels to bound event counts, but
+	// work is charged as if factored with a realistic blocking factor:
+	// each coarse panel aggregates nb/nbReal true panels, so panel
+	// factorisation costs 2·rows·nb·nbReal flops, not 2·rows·nb²
+	// (otherwise the un-overlapped panel path would dominate at scale,
+	// which lookahead hides on the real machine).
+	panels := 48
+	const nbReal = 200
+	nb := n / panels
+
+	sys := core.NewSystem(m, mode, tasks)
+	elapsed := mpi.Run(sys, mpi.Auto, func(p *mpi.P) {
+		me := p.Rank()
+		myRow := me / pc
+		myCol := me % pc
+		rowComm := p.Split(myRow, myCol)      // ranks sharing a grid row
+		colComm := p.Split(1000+myCol, myRow) // ranks sharing a grid column
+		for k := 0; k < panels; k++ {
+			remaining := n - k*nb
+			if remaining <= 0 {
+				break
+			}
+			ownerCol := k % pc
+			ownerRow := k % pr
+			// Panel factorisation on the owning column: nb wide, the
+			// column's share of remaining rows tall.
+			if myCol == ownerCol {
+				rows := remaining / pr
+				fl := 2 * float64(rows) * float64(nb) * float64(nbReal)
+				p.Compute(core.Work{Flops: fl, FlopEff: hplFlopEff * 0.5, LoopLen: rows})
+				// Pivot search communication along the column.
+				colComm.Allreduce(mpi.Max, 8*int64(nb), nil)
+			}
+			// Broadcast the panel along rows (L-panel) and the pivot row
+			// along columns (U-panel).
+			panelBytes := int64(8 * nb * (remaining / pr))
+			rowComm.Bcast(ownerCol, panelBytes, nil)
+			uBytes := int64(8 * nb * (remaining / pc))
+			colComm.Bcast(ownerRow, uBytes, nil)
+			// Trailing submatrix update: local share of the
+			// (remaining)×(remaining) GEMM.
+			locRows := remaining / pr
+			locCols := remaining / pc
+			fl := 2 * float64(locRows) * float64(locCols) * float64(nb)
+			p.Compute(core.Work{Flops: fl, FlopEff: hplFlopEff, LoopLen: locCols})
+		}
+	})
+	return GlobalResult{
+		Tasks:   tasks,
+		Sockets: sockets(m, mode, tasks),
+		Value:   kernels.LUFlops(n) / elapsed / 1e12, // TFLOPS
+		Seconds: elapsed,
+	}
+}
+
+// MPIFFT runs the global 1-D FFT proxy: two local FFT passes separated by
+// all-to-all transposes (the standard six-step algorithm). Figure 9.
+func MPIFFT(m machine.Machine, mode machine.Mode, tasks int) GlobalResult {
+	// Total size scales with tasks; must be a power of two per task too.
+	perTask := 1 << 19 // 512k complex points per task
+	total := perTask * tasks
+
+	sys := core.NewSystem(m, mode, tasks)
+	elapsed := mpi.Run(sys, mpi.Algorithmic, func(p *mpi.P) {
+		local := FFTWork(perTask)
+		// Six-step: transpose, local FFTs, transpose, twiddle+local FFTs,
+		// transpose. HPCC's implementation does 3 transposes; each moves
+		// the full local volume.
+		bytesPerPartner := int64(16 * perTask / tasks)
+		for pass := 0; pass < 2; pass++ {
+			p.Compute(local)
+			p.Alltoall(bytesPerPartner)
+		}
+		p.Alltoall(bytesPerPartner)
+	})
+	return GlobalResult{
+		Tasks:   tasks,
+		Sockets: sockets(m, mode, tasks),
+		Value:   kernels.FFTFlops(total) / elapsed / 1e9, // GFLOPS
+		Seconds: elapsed,
+	}
+}
+
+// PTRANS runs the global matrix transpose proxy: block exchange with the
+// transpose partner plus a local strided copy. Its per-socket result is
+// flat from XT3 to XT4 because the SeaStar link rate did not change
+// (§5.1.3). Figure 10.
+func PTRANS(m machine.Machine, mode machine.Mode, tasks int) GlobalResult {
+	pr, pc := nearSquare(tasks)
+	// Matrix size: constant memory per task.
+	n := int(2000 * math.Sqrt(float64(tasks)))
+	locBytes := int64(8) * int64(n/pr) * int64(n/pc)
+
+	sys := core.NewSystem(m, mode, tasks)
+	elapsed := mpi.Run(sys, mpi.Auto, func(p *mpi.P) {
+		me := p.Rank()
+		myRow := me / pc
+		myCol := me % pc
+		// Each rank (i,j) of the pr×pc grid sends its block to the owner
+		// of the transposed block — linear position (j,i) in the pc×pr
+		// grid — and receives from the rank whose transposed block it
+		// owns. The two mappings are mutual inverses for any grid shape.
+		sendTo := myCol*pr + myRow
+		recvFrom := (me%pr)*pc + me/pr
+		var reqs []*mpi.Request
+		if sendTo != me {
+			reqs = append(reqs, p.Isend(sendTo, 1, locBytes))
+		}
+		if recvFrom != me {
+			reqs = append(reqs, p.Irecv(recvFrom, 1))
+		}
+		p.Wait(reqs...)
+		// Local blocked transpose: pure streaming traffic.
+		p.Compute(core.Work{StreamBytes: 2 * float64(locBytes)})
+	})
+	return GlobalResult{
+		Tasks:   tasks,
+		Sockets: sockets(m, mode, tasks),
+		Value:   float64(8*int64(n)*int64(n)) / elapsed / 1e9, // GB/s
+		Seconds: elapsed,
+	}
+}
+
+// MPIRA runs the global RandomAccess proxy. The HPCC rules cap lookahead
+// at 1024 updates per task, so each exchange round scatters at most 1024
+// updates into P−1 tiny messages — the benchmark is pure small-message
+// latency, which is why system-wide MPI-RA sits around 0.1–0.3 GUPS on
+// thousands of sockets (Figure 11) while a single socket alone manages
+// 0.02. VN mode's NIC sharing makes it slower per socket than the XT3 —
+// the paper's clearest multi-core negative.
+func MPIRA(m machine.Machine, mode machine.Mode, tasks int) GlobalResult {
+	const batches = 3
+	const lookahead = 1024 // HPCC rule: max buffered updates per task
+
+	sys := core.NewSystem(m, mode, tasks)
+	elapsed := mpi.Run(sys, mpi.Algorithmic, func(p *mpi.P) {
+		per := int64(8 * lookahead / tasks)
+		if per < 8 {
+			per = 8
+		}
+		for b := 0; b < batches; b++ {
+			// Scatter this batch's updates to their owning tasks.
+			p.Alltoall(per)
+			// Apply received updates to the local table slice.
+			p.Compute(RandomAccessWork(lookahead))
+		}
+	})
+	total := float64(batches) * float64(lookahead) * float64(tasks)
+	return GlobalResult{
+		Tasks:   tasks,
+		Sockets: sockets(m, mode, tasks),
+		Value:   total / elapsed / 1e9, // GUPS
+		Seconds: elapsed,
+	}
+}
+
+// sockets reports how many sockets (nodes) a run occupies.
+func sockets(m machine.Machine, mode machine.Mode, tasks int) int {
+	if mode == machine.VN && m.CoresPerNode > 1 {
+		return (tasks + m.CoresPerNode - 1) / m.CoresPerNode
+	}
+	return tasks
+}
+
+// nearSquare factors t into pr×pc with pr ≤ pc and pr as large as
+// possible.
+func nearSquare(t int) (pr, pc int) {
+	pr = int(math.Sqrt(float64(t)))
+	for pr > 1 && t%pr != 0 {
+		pr--
+	}
+	if pr < 1 {
+		pr = 1
+	}
+	return pr, t / pr
+}

@@ -1,0 +1,180 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLUBlockedMatchesUnblocked(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for _, tc := range []struct{ n, nb int }{
+		{8, 4}, {10, 3}, {64, 16}, {65, 16}, {100, 32}, {50, 100},
+	} {
+		a := diagonallyDominant(rng, tc.n)
+		ref := a.Clone()
+		blk := a.Clone()
+		pivRef, err1 := LU(ref)
+		pivBlk, err2 := LUBlocked(blk, tc.nb)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("n=%d nb=%d: %v / %v", tc.n, tc.nb, err1, err2)
+		}
+		for i := range pivRef {
+			if pivRef[i] != pivBlk[i] {
+				t.Fatalf("n=%d nb=%d: pivot %d differs: %d vs %d", tc.n, tc.nb, i, pivRef[i], pivBlk[i])
+			}
+		}
+		if d := maxAbsDiff(ref.Data, blk.Data); d > 1e-9 {
+			t.Fatalf("n=%d nb=%d: factor mismatch %g", tc.n, tc.nb, d)
+		}
+	}
+}
+
+func TestLUBlockedSolvesSystem(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const n = 80
+	a := diagonallyDominant(rng, n)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	lu := a.Clone()
+	piv, err := LUBlocked(lu, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := LUSolve(lu, piv, b)
+	if r := Residual(a, x, b); r > 1e-8 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+func TestLUBlockedRejectsBadInput(t *testing.T) {
+	if _, err := LUBlocked(NewDense(3, 4), 2); err == nil {
+		t.Error("non-square accepted")
+	}
+	if _, err := LUBlocked(NewDense(3, 3), 0); err == nil {
+		t.Error("zero block size accepted")
+	}
+	if _, err := LUBlocked(NewDense(3, 3), 2); err == nil {
+		t.Error("singular matrix accepted")
+	}
+}
+
+// Property: blocked and unblocked agree for random sizes and block widths.
+func TestLUBlockedEquivalenceProperty(t *testing.T) {
+	f := func(seed int64, nRaw, nbRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		nb := int(nbRaw%8) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := diagonallyDominant(rng, n)
+		ref := a.Clone()
+		blk := a.Clone()
+		if _, err := LU(ref); err != nil {
+			return true // skip singular draws
+		}
+		if _, err := LUBlocked(blk, nb); err != nil {
+			return false
+		}
+		return maxAbsDiff(ref.Data, blk.Data) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRFromDenseRoundTrip(t *testing.T) {
+	d := NewDense(3, 3)
+	d.Set(0, 0, 2)
+	d.Set(0, 2, -1)
+	d.Set(1, 1, 3)
+	d.Set(2, 0, 5)
+	c := NewCSRFromDense(d)
+	if c.NNZ() != 4 {
+		t.Fatalf("nnz = %d", c.NNZ())
+	}
+	x := []float64{1, 2, 3}
+	y := make([]float64, 3)
+	c.Apply(y, x)
+	want := []float64{2*1 - 1*3, 3 * 2, 5 * 1}
+	if maxAbsDiff(y, want) > 1e-14 {
+		t.Fatalf("spmv = %v, want %v", y, want)
+	}
+}
+
+func TestCSRPoissonMatchesOperator(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	p := Poisson2D{NX: 13, NY: 9}
+	c := NewCSRPoisson2D(13, 9)
+	if c.Dim() != p.Dim() {
+		t.Fatalf("dims differ: %d vs %d", c.Dim(), p.Dim())
+	}
+	x := make([]float64, p.Dim())
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y1 := make([]float64, p.Dim())
+	y2 := make([]float64, p.Dim())
+	p.Apply(y1, x)
+	c.Apply(y2, x)
+	if d := maxAbsDiff(y1, y2); d > 1e-12 {
+		t.Fatalf("CSR vs stencil operator differ by %g", d)
+	}
+}
+
+func TestCSRWorksWithCG(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	c := NewCSRPoisson2D(20, 20)
+	b := make([]float64, c.Dim())
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, c.Dim())
+	st := CG(c, x, b, 1e-9, 5000)
+	if st.FinalResidual > 1e-9 {
+		t.Fatalf("CG on CSR did not converge: %+v", st)
+	}
+}
+
+func TestCSRAccounting(t *testing.T) {
+	c := NewCSRPoisson2D(10, 10)
+	// Interior points have 5 nonzeros; edges fewer. 100 points:
+	// nnz = 5*100 - 2*10 - 2*10 = 460.
+	if c.NNZ() != 460 {
+		t.Fatalf("nnz = %d, want 460", c.NNZ())
+	}
+	if c.SpMVFlops() != 920 {
+		t.Fatalf("flops = %v", c.SpMVFlops())
+	}
+	if c.SpMVBytes() <= 0 {
+		t.Fatal("bytes accounting broken")
+	}
+}
+
+func BenchmarkLUBlocked500(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 500
+	orig := diagonallyDominant(rng, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := orig.Clone()
+		if _, err := LUBlocked(a, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(LUFlops(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+}
+
+func BenchmarkSpMVPoisson(b *testing.B) {
+	c := NewCSRPoisson2D(512, 512)
+	x := make([]float64, c.Dim())
+	y := make([]float64, c.Dim())
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Apply(y, x)
+	}
+	b.ReportMetric(c.SpMVFlops()*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+}

@@ -1,0 +1,182 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+)
+
+// Preconditioned conjugate gradient. §6.2 closes POP's analysis with
+// "more-efficient pre-conditioners, to decrease the number of iterations
+// required by conjugate gradient ... are also being examined"; this
+// implements the direction that remark points at, with a diagonal (Jacobi)
+// preconditioner as the baseline choice for the barotropic operator.
+
+// Preconditioner applies z = M⁻¹ r.
+type Preconditioner interface {
+	Precondition(z, r []float64)
+}
+
+// JacobiPreconditioner divides by the operator diagonal.
+type JacobiPreconditioner struct {
+	InvDiag []float64
+}
+
+// NewJacobiFromCSR extracts the inverse diagonal of a CSR matrix. A
+// missing or zero diagonal entry panics: Jacobi is undefined there.
+func NewJacobiFromCSR(c *CSR) *JacobiPreconditioner {
+	inv := make([]float64, c.N)
+	for i := 0; i < c.N; i++ {
+		found := false
+		for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+			if c.ColIdx[k] == i && c.Values[k] != 0 {
+				inv[i] = 1 / c.Values[k]
+				found = true
+			}
+		}
+		if !found {
+			panic(fmt.Sprintf("kernels: missing or zero diagonal at row %d", i))
+		}
+	}
+	return &JacobiPreconditioner{InvDiag: inv}
+}
+
+// Precondition applies the inverse diagonal.
+func (j *JacobiPreconditioner) Precondition(z, r []float64) {
+	for i := range z {
+		z[i] = j.InvDiag[i] * r[i]
+	}
+}
+
+// PCG solves A x = b with Jacobi/any preconditioning. Like CG it costs two
+// reductions per iteration; the win is fewer iterations on systems with
+// strong diagonal variation (POP's barotropic operator has spatially
+// varying metric coefficients).
+func PCG(a Operator, m Preconditioner, x, b []float64, tol float64, maxIter int) CGStats {
+	n := a.Dim()
+	if len(x) != n || len(b) != n {
+		panic(fmt.Sprintf("kernels: PCG dimension mismatch %d/%d/%d", n, len(x), len(b)))
+	}
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	var st CGStats
+	a.Apply(r, x)
+	st.SpMVs++
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	m.Precondition(z, r)
+	copy(p, z)
+	rz := dot(r, z)
+	st.Reductions++
+
+	for st.Iterations = 0; st.Iterations < maxIter; st.Iterations++ {
+		if math.Sqrt(math.Abs(dot(r, r))) <= tol {
+			break
+		}
+		st.Reductions++ // convergence-check norm
+		a.Apply(ap, p)
+		st.SpMVs++
+		alpha := rz / dot(p, ap)
+		st.Reductions++
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		m.Precondition(z, r)
+		rzNew := dot(r, z)
+		st.Reductions++
+		beta := rzNew / rz
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+		rz = rzNew
+	}
+	st.FinalResidual = math.Sqrt(dot(r, r))
+	return st
+}
+
+// ScaledPoisson2D is the 5-point operator with a spatially varying
+// diagonal (metric) coefficient — a stand-in for POP's barotropic operator
+// on the displaced-pole grid, where cell areas vary strongly toward
+// Greenland. The condition number grows with Contrast, making it the test
+// bed where Jacobi preconditioning pays off.
+type ScaledPoisson2D struct {
+	NX, NY   int
+	Contrast float64 // max/min diagonal scaling (≥ 1)
+}
+
+// Dim returns the number of unknowns.
+func (p ScaledPoisson2D) Dim() int { return p.NX * p.NY }
+
+// scale returns the smoothly varying coefficient at (i,j).
+func (p ScaledPoisson2D) scale(i, j int) float64 {
+	// Smooth variation from 1 to Contrast across the domain diagonal.
+	t := (float64(i)/float64(p.NX) + float64(j)/float64(p.NY)) / 2
+	return 1 + (p.Contrast-1)*t*t
+}
+
+// Apply computes y = A·x with the scaled operator (SPD by construction:
+// D^{1/2} L D^{1/2} pattern approximated by scaling the whole row/column).
+func (p ScaledPoisson2D) Apply(y, x []float64) {
+	nx, ny := p.NX, p.NY
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			idx := j*nx + i
+			s := p.scale(i, j)
+			v := 4 * s * x[idx]
+			if i > 0 {
+				v -= sqrtScale(p, i, j, i-1, j) * x[idx-1]
+			}
+			if i < nx-1 {
+				v -= sqrtScale(p, i, j, i+1, j) * x[idx+1]
+			}
+			if j > 0 {
+				v -= sqrtScale(p, i, j, i, j-1) * x[idx-nx]
+			}
+			if j < ny-1 {
+				v -= sqrtScale(p, i, j, i, j+1) * x[idx+nx]
+			}
+			y[idx] = v
+		}
+	}
+}
+
+// sqrtScale returns the symmetric off-diagonal coupling √(s_a·s_b),
+// keeping the operator symmetric (required by CG).
+func sqrtScale(p ScaledPoisson2D, i1, j1, i2, j2 int) float64 {
+	return math.Sqrt(p.scale(i1, j1) * p.scale(i2, j2))
+}
+
+// CSR builds the explicit matrix (for preconditioner extraction).
+func (p ScaledPoisson2D) CSR() *CSR {
+	n := p.Dim()
+	c := &CSR{N: n, RowPtr: make([]int, n+1)}
+	add := func(col int, v float64) {
+		c.ColIdx = append(c.ColIdx, col)
+		c.Values = append(c.Values, v)
+	}
+	nx, ny := p.NX, p.NY
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			idx := j*nx + i
+			if j > 0 {
+				add(idx-nx, -sqrtScale(p, i, j, i, j-1))
+			}
+			if i > 0 {
+				add(idx-1, -sqrtScale(p, i, j, i-1, j))
+			}
+			add(idx, 4*p.scale(i, j))
+			if i < nx-1 {
+				add(idx+1, -sqrtScale(p, i, j, i+1, j))
+			}
+			if j < ny-1 {
+				add(idx+nx, -sqrtScale(p, i, j, i, j+1))
+			}
+			c.RowPtr[idx+1] = len(c.ColIdx)
+		}
+	}
+	return c
+}

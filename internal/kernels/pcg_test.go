@@ -1,0 +1,101 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestScaledPoissonSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	p := ScaledPoisson2D{NX: 11, NY: 7, Contrast: 50}
+	x := make([]float64, p.Dim())
+	y := make([]float64, p.Dim())
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	ax := make([]float64, p.Dim())
+	ay := make([]float64, p.Dim())
+	p.Apply(ax, x)
+	p.Apply(ay, y)
+	if math.Abs(dot(ax, y)-dot(x, ay)) > 1e-9 {
+		t.Fatal("scaled operator is not symmetric")
+	}
+}
+
+func TestScaledPoissonCSRMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	p := ScaledPoisson2D{NX: 9, NY: 13, Contrast: 20}
+	c := p.CSR()
+	x := make([]float64, p.Dim())
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y1 := make([]float64, p.Dim())
+	y2 := make([]float64, p.Dim())
+	p.Apply(y1, x)
+	c.Apply(y2, x)
+	if d := maxAbsDiff(y1, y2); d > 1e-10 {
+		t.Fatalf("CSR form differs by %g", d)
+	}
+}
+
+func TestPCGSolvesScaledSystem(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	p := ScaledPoisson2D{NX: 20, NY: 20, Contrast: 100}
+	b := make([]float64, p.Dim())
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, p.Dim())
+	st := PCG(p, NewJacobiFromCSR(p.CSR()), x, b, 1e-9, 5000)
+	if st.FinalResidual > 1e-9 {
+		t.Fatalf("PCG did not converge: %+v", st)
+	}
+	y := make([]float64, p.Dim())
+	p.Apply(y, x)
+	if maxAbsDiff(y, b) > 1e-7 {
+		t.Fatal("PCG solution does not satisfy the system")
+	}
+}
+
+func TestJacobiPreconditioningReducesIterations(t *testing.T) {
+	// The paper's §6.2 direction: a better-conditioned barotropic solve
+	// needs fewer iterations, hence fewer Allreduce calls at scale.
+	rng := rand.New(rand.NewSource(33))
+	p := ScaledPoisson2D{NX: 30, NY: 30, Contrast: 200}
+	b := make([]float64, p.Dim())
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x1 := make([]float64, p.Dim())
+	plain := CG(p, x1, b, 1e-8, 20000)
+	x2 := make([]float64, p.Dim())
+	pcg := PCG(p, NewJacobiFromCSR(p.CSR()), x2, b, 1e-8, 20000)
+
+	if plain.FinalResidual > 1e-8 || pcg.FinalResidual > 1e-8 {
+		t.Fatalf("solvers did not converge: %+v / %+v", plain, pcg)
+	}
+	if pcg.Iterations >= plain.Iterations {
+		t.Fatalf("Jacobi PCG (%d iters) should beat plain CG (%d iters) on the high-contrast system",
+			pcg.Iterations, plain.Iterations)
+	}
+	// Both solutions solve the same SPD system.
+	if d := maxAbsDiff(x1, x2); d > 1e-5 {
+		t.Fatalf("solutions differ by %g", d)
+	}
+}
+
+func TestJacobiRejectsZeroDiagonal(t *testing.T) {
+	d := NewDense(2, 2)
+	d.Set(0, 1, 1)
+	d.Set(1, 0, 1)
+	c := NewCSRFromDense(d)
+	defer func() {
+		if recover() == nil {
+			t.Error("zero diagonal did not panic")
+		}
+	}()
+	NewJacobiFromCSR(c)
+}

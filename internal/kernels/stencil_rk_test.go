@@ -1,0 +1,219 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeriv8ExactOnPolynomials(t *testing.T) {
+	// An 8th-order scheme differentiates polynomials up to degree 8
+	// exactly (at interior points).
+	const n = 32
+	const h = 0.1
+	f := make([]float64, n)
+	df := make([]float64, n)
+	for deg := 0; deg <= 8; deg++ {
+		for i := range f {
+			f[i] = math.Pow(float64(i)*h, float64(deg))
+		}
+		Deriv8(df, f, h)
+		for i := Deriv8Width; i < n-Deriv8Width; i++ {
+			want := 0.0
+			if deg > 0 {
+				want = float64(deg) * math.Pow(float64(i)*h, float64(deg-1))
+			}
+			if math.Abs(df[i]-want) > 1e-7*math.Max(1, math.Abs(want)) {
+				t.Fatalf("deg %d at %d: got %v want %v", deg, i, df[i], want)
+			}
+		}
+	}
+}
+
+func TestDeriv8ConvergenceOrder(t *testing.T) {
+	// Error on sin(x) must fall ~2^8 when h halves.
+	// Use a coarse grid over several wavelengths so truncation error stays
+	// far above float64 rounding noise (which grows like eps/h).
+	errAt := func(n int) float64 {
+		h := 4 * math.Pi / float64(n)
+		f := make([]float64, n)
+		df := make([]float64, n)
+		for i := range f {
+			f[i] = math.Sin(float64(i) * h)
+		}
+		Deriv8(df, f, h)
+		worst := 0.0
+		for i := Deriv8Width; i < n-Deriv8Width; i++ {
+			if e := math.Abs(df[i] - math.Cos(float64(i)*h)); e > worst {
+				worst = e
+			}
+		}
+		return worst
+	}
+	e1 := errAt(24)
+	e2 := errAt(48)
+	order := math.Log2(e1 / e2)
+	if order < 7.5 || order > 8.8 {
+		t.Fatalf("observed convergence order %.2f, want ≈ 8", order)
+	}
+}
+
+func TestFilter10PreservesLowDegreePolynomials(t *testing.T) {
+	const n = 40
+	f := make([]float64, n)
+	g := make([]float64, n)
+	for deg := 0; deg <= 9; deg++ {
+		for i := range f {
+			f[i] = math.Pow(float64(i)/10, float64(deg))
+		}
+		Filter10(g, f)
+		for i := Filter10Width; i < n-Filter10Width; i++ {
+			if math.Abs(g[i]-f[i]) > 1e-9*math.Max(1, math.Abs(f[i])) {
+				t.Fatalf("deg %d changed at %d: %v -> %v", deg, i, f[i], g[i])
+			}
+		}
+	}
+}
+
+func TestFilter10KillsNyquistMode(t *testing.T) {
+	// The odd-even (highest frequency) mode must be annihilated —
+	// exactly the "spurious oscillations" S3D's filter targets.
+	const n = 40
+	f := make([]float64, n)
+	g := make([]float64, n)
+	for i := range f {
+		f[i] = math.Pow(-1, float64(i))
+	}
+	Filter10(g, f)
+	for i := Filter10Width; i < n-Filter10Width; i++ {
+		if math.Abs(g[i]) > 1e-12 {
+			t.Fatalf("Nyquist mode survived at %d: %v", i, g[i])
+		}
+	}
+}
+
+func TestField3DIndexing(t *testing.T) {
+	f := NewField3D(4, 5, 6, 4)
+	f.Set(0, 0, 0, 1)
+	f.Set(3, 4, 5, 2)
+	if f.At(0, 0, 0) != 1 || f.At(3, 4, 5) != 2 {
+		t.Fatal("interior indexing broken")
+	}
+	// Ghost cells are addressable.
+	f.Set(-4, -4, -4, 7)
+	if f.Data[0] != 7 {
+		t.Fatal("ghost corner should map to index 0")
+	}
+}
+
+func TestField3DDerivX(t *testing.T) {
+	// Linear field in x: derivative is exactly the slope everywhere.
+	const slope = 3.5
+	f := NewField3D(6, 4, 4, 4)
+	df := NewField3D(6, 4, 4, 4)
+	for k := -4; k < 8; k++ {
+		for j := -4; j < 8; j++ {
+			for i := -4; i < 10; i++ {
+				f.Data[f.Index(i, j, k)] = slope * float64(i)
+			}
+		}
+	}
+	f.DerivX(df, 1.0)
+	for k := 0; k < 4; k++ {
+		for j := 0; j < 4; j++ {
+			for i := 0; i < 6; i++ {
+				if math.Abs(df.At(i, j, k)-slope) > 1e-10 {
+					t.Fatalf("derivX(%d,%d,%d) = %v, want %v", i, j, k, df.At(i, j, k), slope)
+				}
+			}
+		}
+	}
+}
+
+func TestHaloBytesPerFace(t *testing.T) {
+	// 50x50 face, 4 ghost planes, 12 variables: S3D-like halo.
+	if got := HaloBytesPerFace(50, 50, 4, 12); got != 50*50*4*12*8 {
+		t.Fatalf("halo bytes = %d", got)
+	}
+}
+
+func TestRK4ExponentialAccuracy(t *testing.T) {
+	f := func(t float64, u, dudt []float64) { dudt[0] = u[0] }
+	u := []float64{1}
+	const dt = 0.01
+	for i := 0; i < 100; i++ {
+		RK4(f, float64(i)*dt, u, dt)
+	}
+	if math.Abs(u[0]-math.E) > 1e-9 {
+		t.Fatalf("e^1 = %v, error %g", u[0], math.Abs(u[0]-math.E))
+	}
+}
+
+func TestLowStorageRKMatchesRK4OnOscillator(t *testing.T) {
+	// Harmonic oscillator: u'' = -u, energy-conserving over short spans.
+	f := func(t float64, u, dudt []float64) {
+		dudt[0] = u[1]
+		dudt[1] = -u[0]
+	}
+	u := []float64{1, 0}
+	scratch := make([]float64, 2)
+	const dt = 0.01
+	steps := int(math.Round(2 * math.Pi / dt))
+	for i := 0; i < steps; i++ {
+		LowStorageRK(f, float64(i)*dt, u, scratch, dt)
+	}
+	// After one period the state returns near (1, 0).
+	final := math.Hypot(u[0]-math.Cos(float64(steps)*dt), u[1]+math.Sin(float64(steps)*dt))
+	if final > 1e-7 {
+		t.Fatalf("oscillator error after one period: %g", final)
+	}
+}
+
+func TestLowStorageRKConvergenceOrder(t *testing.T) {
+	// Fourth-order scheme: halving dt shrinks error ~16x.
+	solve := func(dt float64) float64 {
+		f := func(t float64, u, dudt []float64) { dudt[0] = math.Cos(t) * u[0] }
+		u := []float64{1}
+		scratch := make([]float64, 1)
+		steps := int(math.Round(1 / dt))
+		for i := 0; i < steps; i++ {
+			LowStorageRK(f, float64(i)*dt, u, scratch, dt)
+		}
+		exact := math.Exp(math.Sin(1))
+		return math.Abs(u[0] - exact)
+	}
+	e1 := solve(0.1)
+	e2 := solve(0.05)
+	order := math.Log2(e1 / e2)
+	if order < 3.5 || order > 5.2 {
+		t.Fatalf("observed order %.2f, want ≈ 4", order)
+	}
+}
+
+func TestLowStorageRKScratchMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("scratch mismatch did not panic")
+		}
+	}()
+	LowStorageRK(func(t float64, u, d []float64) {}, 0, make([]float64, 2), make([]float64, 1), 0.1)
+}
+
+func TestRKStepFlops(t *testing.T) {
+	if got := RKStepFlops(100, 6, 10); got != 6*100*14 {
+		t.Fatalf("RKStepFlops = %v", got)
+	}
+}
+
+func BenchmarkDeriv8Field(b *testing.B) {
+	f := NewField3D(50, 50, 50, 4)
+	df := NewField3D(50, 50, 50, 4)
+	for i := range f.Data {
+		f.Data[i] = float64(i % 17)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.DerivX(df, 0.01)
+	}
+	pts := float64(50 * 50 * 50)
+	b.ReportMetric(pts*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpts/s")
+}

@@ -1,0 +1,49 @@
+package kernels
+
+import "fmt"
+
+// PTRANS-style matrix transpose: low temporal, high spatial locality — one
+// of the two kernels (with STREAM) for which the paper finds multi-core
+// "is not a panacea" (§5.1.3), since a single core already saturates the
+// streaming path.
+
+// transBlock is the tile edge for the cache-blocked transpose.
+const transBlock = 32
+
+// Transpose writes the transpose of src (rows×cols) into dst (cols×rows)
+// with cache blocking.
+func Transpose(dst, src *Dense) {
+	if dst.Rows != src.Cols || dst.Cols != src.Rows {
+		panic(fmt.Sprintf("kernels: transpose shape mismatch %dx%d -> %dx%d",
+			src.Rows, src.Cols, dst.Rows, dst.Cols))
+	}
+	for i0 := 0; i0 < src.Rows; i0 += transBlock {
+		imax := min(i0+transBlock, src.Rows)
+		for j0 := 0; j0 < src.Cols; j0 += transBlock {
+			jmax := min(j0+transBlock, src.Cols)
+			for i := i0; i < imax; i++ {
+				for j := j0; j < jmax; j++ {
+					dst.Data[j*dst.Cols+i] = src.Data[i*src.Cols+j]
+				}
+			}
+		}
+	}
+}
+
+// TransposeNaive is the unblocked reference (and the strided-access
+// baseline for the blocking ablation benchmark).
+func TransposeNaive(dst, src *Dense) {
+	if dst.Rows != src.Cols || dst.Cols != src.Rows {
+		panic("kernels: transpose shape mismatch")
+	}
+	for i := 0; i < src.Rows; i++ {
+		for j := 0; j < src.Cols; j++ {
+			dst.Data[j*dst.Cols+i] = src.Data[i*src.Cols+j]
+		}
+	}
+}
+
+// PTRANSBytes is the HPCC accounting: the transpose moves 16 bytes per
+// element (one read, one write of a float64... HPCC counts 8-byte words
+// read plus written).
+func PTRANSBytes(n int) float64 { return 16 * float64(n) * float64(n) }

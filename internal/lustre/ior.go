@@ -1,0 +1,152 @@
+package lustre
+
+import (
+	"fmt"
+
+	"xtsim/internal/core"
+	"xtsim/internal/sim"
+)
+
+// IOR-like parallel I/O benchmark (the paper's keywords include IOR, and
+// its reference list cites the LLNL IOR benchmark and two custom
+// Fortran/MPI I/O testers). Each task writes and then reads a contiguous
+// segment; the result is aggregate bandwidth as a function of task count,
+// stripe count, and transfer size.
+
+// IORParams configures one IOR run.
+type IORParams struct {
+	// Tasks is the number of writing/reading clients.
+	Tasks int
+	// BytesPerTask is each task's total I/O volume.
+	BytesPerTask int64
+	// TransferSize is the request size each client issues.
+	TransferSize int64
+	// StripeCount is the Lustre stripe count (0 = filesystem default).
+	StripeCount int
+	// FilePerProcess selects N-files (true, one file per task) versus a
+	// single shared file (false).
+	FilePerProcess bool
+}
+
+// Validate checks the parameters.
+func (p IORParams) Validate() error {
+	switch {
+	case p.Tasks < 1:
+		return fmt.Errorf("lustre: IOR tasks = %d", p.Tasks)
+	case p.BytesPerTask < 1:
+		return fmt.Errorf("lustre: IOR bytes/task = %d", p.BytesPerTask)
+	case p.TransferSize < 1 || p.TransferSize > p.BytesPerTask:
+		return fmt.Errorf("lustre: IOR transfer size = %d", p.TransferSize)
+	}
+	return nil
+}
+
+// IORResult reports aggregate bandwidths in bytes/s.
+type IORResult struct {
+	WriteBW float64
+	ReadBW  float64
+	// MetaSeconds is the time spent in the open/create storm, isolating
+	// the single-MDS bottleneck.
+	MetaSeconds float64
+}
+
+// RunIOR executes the benchmark on a fresh system built from sys's
+// machine. It returns aggregate write and read bandwidth.
+func RunIOR(sys *core.System, cfg Config, params IORParams) (IORResult, error) {
+	if err := params.Validate(); err != nil {
+		return IORResult{}, err
+	}
+	fs, err := New(sys.Eng, sys.Fabric, cfg)
+	if err != nil {
+		return IORResult{}, err
+	}
+
+	var files []*File
+	if !params.FilePerProcess {
+		files = make([]*File, 1)
+	} else {
+		files = make([]*File, params.Tasks)
+	}
+
+	type phaseTimes struct {
+		metaDone, writeDone, readDone sim.Time
+	}
+	times := make([]phaseTimes, params.Tasks)
+
+	var barrier sim.Condition
+	waiting := 0
+	syncAll := func(p *sim.Proc) {
+		waiting++
+		if waiting < params.Tasks {
+			barrier.Await(p)
+		} else {
+			waiting = 0
+			barrier.Broadcast()
+		}
+	}
+
+	sys.Run(func(r *core.Rank) {
+		p := r.Proc
+		me := r.ID
+		// Open/create storm: every client hits the MDS.
+		if params.FilePerProcess {
+			files[me] = fs.Create(p, params.StripeCount)
+		} else if me == 0 {
+			files[0] = fs.Create(p, params.StripeCount)
+		}
+		syncAll(p)
+		if !params.FilePerProcess {
+			// Everyone else opens the shared file.
+			if me != 0 {
+				fs.Open(p, files[0])
+			}
+			syncAll(p)
+		}
+		times[me].metaDone = p.Now()
+
+		f := files[0]
+		base := int64(me) * params.BytesPerTask
+		if params.FilePerProcess {
+			f = files[me]
+			base = 0
+		}
+		for off := int64(0); off < params.BytesPerTask; off += params.TransferSize {
+			n := params.TransferSize
+			if off+n > params.BytesPerTask {
+				n = params.BytesPerTask - off
+			}
+			f.Write(p, r.NodeID, base+off, n)
+		}
+		syncAll(p)
+		times[me].writeDone = p.Now()
+
+		for off := int64(0); off < params.BytesPerTask; off += params.TransferSize {
+			n := params.TransferSize
+			if off+n > params.BytesPerTask {
+				n = params.BytesPerTask - off
+			}
+			f.Read(p, r.NodeID, base+off, n)
+		}
+		syncAll(p)
+		times[me].readDone = p.Now()
+	})
+
+	var meta, wEnd, rEnd sim.Time
+	for _, t := range times {
+		if t.metaDone > meta {
+			meta = t.metaDone
+		}
+		if t.writeDone > wEnd {
+			wEnd = t.writeDone
+		}
+		if t.readDone > rEnd {
+			rEnd = t.readDone
+		}
+	}
+	total := float64(params.BytesPerTask) * float64(params.Tasks)
+	return IORResult{
+		WriteBW:     total / (wEnd - meta),
+		ReadBW:      total / (rEnd - wEnd),
+		MetaSeconds: meta,
+	}, nil
+}

@@ -1,0 +1,232 @@
+// Package lustre models the Lustre parallel filesystem of the Cray
+// XT3/XT4 (§2, Figure 1): a single Metadata Server (MDS), Object Storage
+// Servers (OSS) each hosting Object Storage Targets (OSTs), file striping
+// across OSTs, and compute-node clients reaching the servers over the
+// simulated SeaStar network via liblustre.
+//
+// The paper describes the architecture and flags the single-MDS metadata
+// bottleneck at scale; the model makes both the striping bandwidth
+// behaviour and that bottleneck measurable, and the IOR-like benchmark in
+// this package exercises them.
+package lustre
+
+import (
+	"fmt"
+
+	"xtsim/internal/machine"
+	"xtsim/internal/network"
+	"xtsim/internal/sim"
+)
+
+// Config sizes a Lustre deployment.
+type Config struct {
+	// OSSCount is the number of Object Storage Servers (on SIO nodes).
+	OSSCount int
+	// OSTsPerOSS is the number of storage targets each OSS serves.
+	OSTsPerOSS int
+	// OSTBandwidth is each OST's disk bandwidth in bytes/s.
+	OSTBandwidth float64
+	// OSSNetBandwidth is each OSS's network/back-end bandwidth in
+	// bytes/s (shared by its OSTs).
+	OSSNetBandwidth float64
+	// MDSOpLatency is the metadata-operation service time in seconds;
+	// with one MDS this serialises opens/creates at scale (§2).
+	MDSOpLatency float64
+	// DefaultStripeCount is the stripe count used when a file does not
+	// set its own (Lustre's default was 4 at ORNL).
+	DefaultStripeCount int
+	// StripeSize is the striping unit in bytes (Lustre default 1 MiB).
+	StripeSize int64
+}
+
+// DefaultConfig mirrors a mid-2007 NCCS scratch filesystem: 36 OSSes of 2
+// OSTs, ~250 MB/s per OST.
+func DefaultConfig() Config {
+	return Config{
+		OSSCount:           36,
+		OSTsPerOSS:         2,
+		OSTBandwidth:       250e6,
+		OSSNetBandwidth:    1.2e9,
+		MDSOpLatency:       250e-6,
+		DefaultStripeCount: 4,
+		StripeSize:         1 << 20,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.OSSCount < 1:
+		return fmt.Errorf("lustre: OSSCount = %d", c.OSSCount)
+	case c.OSTsPerOSS < 1:
+		return fmt.Errorf("lustre: OSTsPerOSS = %d", c.OSTsPerOSS)
+	case c.OSTBandwidth <= 0 || c.OSSNetBandwidth <= 0:
+		return fmt.Errorf("lustre: invalid bandwidths %+v", c)
+	case c.MDSOpLatency <= 0:
+		return fmt.Errorf("lustre: MDSOpLatency = %v", c.MDSOpLatency)
+	case c.DefaultStripeCount < 1 || c.DefaultStripeCount > c.OSSCount*c.OSTsPerOSS:
+		return fmt.Errorf("lustre: stripe count %d out of range", c.DefaultStripeCount)
+	case c.StripeSize < 1:
+		return fmt.Errorf("lustre: StripeSize = %d", c.StripeSize)
+	}
+	return nil
+}
+
+// TotalOSTs returns the OST count.
+func (c Config) TotalOSTs() int { return c.OSSCount * c.OSTsPerOSS }
+
+// FS is a live filesystem instance attached to a simulated system.
+type FS struct {
+	Cfg    Config
+	eng    *sim.Engine
+	fabric *network.Fabric
+
+	mds     sim.FIFOResource  // single metadata server (§2's bottleneck)
+	ostDisk []*sim.PSResource // per-OST disk bandwidth
+	ossNet  []*sim.PSResource // per-OSS network path, shared by its OSTs
+	ostNode []int             // fabric node hosting each OST's OSS
+
+	nextFileID int
+	// Stats.
+	MetaOps    uint64
+	BytesRead  uint64
+	BytesWrote uint64
+}
+
+// New attaches a filesystem to an existing engine and fabric. OSSes are
+// placed round-robin on fabric nodes from the top of the node range,
+// mimicking SIO placement at the torus edge.
+func New(eng *sim.Engine, fabric *network.Fabric, cfg Config) (*FS, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fs := &FS{Cfg: cfg, eng: eng, fabric: fabric}
+	nNodes := fabric.Tor.Nodes()
+	for oss := 0; oss < cfg.OSSCount; oss++ {
+		net := sim.NewPSResource(eng, cfg.OSSNetBandwidth)
+		node := nNodes - 1 - (oss % nNodes)
+		for t := 0; t < cfg.OSTsPerOSS; t++ {
+			fs.ostDisk = append(fs.ostDisk, sim.NewPSResource(eng, cfg.OSTBandwidth))
+			fs.ossNet = append(fs.ossNet, net)
+			fs.ostNode = append(fs.ostNode, node)
+		}
+	}
+	return fs, nil
+}
+
+// File is an open striped file.
+type File struct {
+	fs          *FS
+	ID          int
+	StripeCount int
+	StripeSize  int64
+	// firstOST is the file's starting OST (round-robin layout).
+	firstOST int
+}
+
+// Create performs a metadata operation on the MDS and returns a file
+// striped over stripeCount OSTs (0 means the filesystem default). The
+// calling process pays the (possibly queued) MDS latency — this is where
+// single-MDS metadata storms hurt.
+func (fs *FS) Create(p *sim.Proc, stripeCount int) *File {
+	if stripeCount == 0 {
+		stripeCount = fs.Cfg.DefaultStripeCount
+	}
+	if stripeCount < 1 || stripeCount > fs.Cfg.TotalOSTs() {
+		panic(fmt.Sprintf("lustre: stripe count %d out of range [1,%d]", stripeCount, fs.Cfg.TotalOSTs()))
+	}
+	fs.metadataOp(p)
+	fs.nextFileID++
+	return &File{
+		fs:          fs,
+		ID:          fs.nextFileID,
+		StripeCount: stripeCount,
+		StripeSize:  fs.Cfg.StripeSize,
+		firstOST:    (fs.nextFileID * 7) % fs.Cfg.TotalOSTs(),
+	}
+}
+
+// Open performs the metadata lookup for an existing file.
+func (fs *FS) Open(p *sim.Proc, f *File) {
+	fs.metadataOp(p)
+}
+
+// metadataOp serialises through the single MDS.
+func (fs *FS) metadataOp(p *sim.Proc) {
+	start := fs.mds.Reserve(p.Now(), fs.Cfg.MDSOpLatency)
+	p.WaitUntil(start + fs.Cfg.MDSOpLatency)
+	fs.MetaOps++
+}
+
+// ostFor maps a file offset to the OST holding it.
+func (f *File) ostFor(offset int64) int {
+	stripeIdx := int(offset/f.StripeSize) % f.StripeCount
+	return (f.firstOST + stripeIdx) % f.fs.Cfg.TotalOSTs()
+}
+
+// transfer moves length bytes between the client and the file's OSTs,
+// blocking the calling process until the slowest stripe completes. Each
+// stripe's bytes traverse the fabric to the OSS node, the OSS network
+// path, and the OST disk.
+func (f *File) transfer(p *sim.Proc, clientNode int, offset, length int64, write bool) {
+	if length <= 0 {
+		return
+	}
+	fs := f.fs
+	// Split the request into per-OST byte counts.
+	perOST := make(map[int]int64)
+	for pos := offset; pos < offset+length; {
+		stripeEnd := (pos/f.StripeSize + 1) * f.StripeSize
+		end := offset + length
+		if stripeEnd < end {
+			end = stripeEnd
+		}
+		perOST[f.ostFor(pos)] += end - pos
+		pos = end
+	}
+	// Launch all stripe transfers and wait for completion.
+	var done sim.Condition
+	outstanding := 0
+	for ost, bytes := range perOST {
+		outstanding++
+		ost, bytes := ost, bytes
+		// Network leg between client and OSS node.
+		msg := network.Msg{
+			SrcNode: clientNode, DstNode: fs.ostNode[ost],
+			Bytes: bytes, Mode: machine.SN,
+		}
+		if !write {
+			msg.SrcNode, msg.DstNode = msg.DstNode, msg.SrcNode
+		}
+		fs.fabric.Deliver(p.Now(), msg, func(arrive sim.Time) {
+			// OSS network path then OST disk, processor-shared with
+			// concurrent streams.
+			fs.ossNet[ost].ConsumeAsync(float64(bytes), func() {
+				fs.ostDisk[ost].ConsumeAsync(float64(bytes), func() {
+					outstanding--
+					if outstanding == 0 {
+						done.Broadcast()
+					}
+				})
+			})
+		})
+	}
+	if outstanding > 0 {
+		done.Await(p)
+	}
+	if write {
+		fs.BytesWrote += uint64(length)
+	} else {
+		fs.BytesRead += uint64(length)
+	}
+}
+
+// Write writes length bytes at offset from the client on clientNode.
+func (f *File) Write(p *sim.Proc, clientNode int, offset, length int64) {
+	f.transfer(p, clientNode, offset, length, true)
+}
+
+// Read reads length bytes at offset into the client on clientNode.
+func (f *File) Read(p *sim.Proc, clientNode int, offset, length int64) {
+	f.transfer(p, clientNode, offset, length, false)
+}

@@ -1,0 +1,240 @@
+package lustre
+
+import (
+	"testing"
+
+	"xtsim/internal/core"
+	"xtsim/internal/machine"
+	"xtsim/internal/network"
+	"xtsim/internal/sim"
+)
+
+func testFS(t *testing.T, cfg Config) (*sim.Engine, *FS) {
+	t.Helper()
+	eng := sim.NewEngine()
+	fab := network.New(eng, machine.XT4(), 64)
+	fs, err := New(eng, fab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, fs
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if DefaultConfig().TotalOSTs() != 72 {
+		t.Fatalf("total OSTs = %d", DefaultConfig().TotalOSTs())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.OSSCount = 0 },
+		func(c *Config) { c.OSTsPerOSS = 0 },
+		func(c *Config) { c.OSTBandwidth = 0 },
+		func(c *Config) { c.MDSOpLatency = 0 },
+		func(c *Config) { c.DefaultStripeCount = 0 },
+		func(c *Config) { c.DefaultStripeCount = 1000 },
+		func(c *Config) { c.StripeSize = 0 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d passed validation", i)
+		}
+	}
+}
+
+func TestCreatePaysMDSLatency(t *testing.T) {
+	cfg := DefaultConfig()
+	eng, fs := testFS(t, cfg)
+	var created sim.Time
+	eng.Spawn("client", func(p *sim.Proc) {
+		f := fs.Create(p, 4)
+		created = p.Now()
+		if f.StripeCount != 4 {
+			t.Errorf("stripe count = %d", f.StripeCount)
+		}
+	})
+	eng.Run()
+	if created < cfg.MDSOpLatency {
+		t.Fatalf("create returned at %v, before MDS latency %v", created, cfg.MDSOpLatency)
+	}
+}
+
+func TestMDSSerialisesMetadataStorm(t *testing.T) {
+	// §2: one MDS can bottleneck metadata operations at large scale. N
+	// concurrent creates must take ≈ N × op latency.
+	cfg := DefaultConfig()
+	eng, fs := testFS(t, cfg)
+	const clients = 50
+	for i := 0; i < clients; i++ {
+		eng.Spawn("c", func(p *sim.Proc) { fs.Create(p, 1) })
+	}
+	end := eng.Run()
+	want := clients * cfg.MDSOpLatency
+	if end < 0.95*want {
+		t.Fatalf("metadata storm took %v, want ≈ %v (serialised)", end, want)
+	}
+	if fs.MetaOps != clients {
+		t.Fatalf("MetaOps = %d", fs.MetaOps)
+	}
+}
+
+func TestDefaultStripeCountApplied(t *testing.T) {
+	eng, fs := testFS(t, DefaultConfig())
+	eng.Spawn("c", func(p *sim.Proc) {
+		f := fs.Create(p, 0)
+		if f.StripeCount != fs.Cfg.DefaultStripeCount {
+			t.Errorf("stripe count = %d, want default %d", f.StripeCount, fs.Cfg.DefaultStripeCount)
+		}
+	})
+	eng.Run()
+}
+
+func TestStripingSpreadsAcrossOSTs(t *testing.T) {
+	eng, fs := testFS(t, DefaultConfig())
+	eng.Spawn("c", func(p *sim.Proc) {
+		f := fs.Create(p, 4)
+		seen := map[int]bool{}
+		for off := int64(0); off < 4*f.StripeSize; off += f.StripeSize {
+			seen[f.ostFor(off)] = true
+		}
+		if len(seen) != 4 {
+			t.Errorf("4-stripe file touched %d OSTs", len(seen))
+		}
+		// Offsets one stripe-cycle apart land on the same OST.
+		if f.ostFor(0) != f.ostFor(4*f.StripeSize) {
+			t.Error("striping not cyclic")
+		}
+	})
+	eng.Run()
+}
+
+func TestWiderStripingFasterForLargeFile(t *testing.T) {
+	// The point of striping: one client writing a big file gets more
+	// aggregate disk behind it.
+	write := func(stripes int) sim.Time {
+		eng, fs := testFS(t, DefaultConfig())
+		var took sim.Time
+		eng.Spawn("c", func(p *sim.Proc) {
+			f := fs.Create(p, stripes)
+			start := p.Now()
+			f.Write(p, 0, 0, 64<<20)
+			took = p.Now() - start
+		})
+		eng.Run()
+		return took
+	}
+	narrow := write(1)
+	wide := write(8)
+	if wide >= narrow {
+		t.Fatalf("8-stripe write (%v) should beat 1-stripe (%v)", wide, narrow)
+	}
+	// With 8 stripes the 64 MB write approaches 8x one OST's bandwidth.
+	if ratio := narrow / wide; ratio < 3 {
+		t.Fatalf("striping speedup = %.1fx, want > 3x", ratio)
+	}
+}
+
+func TestReadAndWriteAccounting(t *testing.T) {
+	eng, fs := testFS(t, DefaultConfig())
+	eng.Spawn("c", func(p *sim.Proc) {
+		f := fs.Create(p, 2)
+		f.Write(p, 0, 0, 1<<20)
+		f.Read(p, 0, 0, 1<<20)
+	})
+	eng.Run()
+	if fs.BytesWrote != 1<<20 || fs.BytesRead != 1<<20 {
+		t.Fatalf("accounting: wrote %d read %d", fs.BytesWrote, fs.BytesRead)
+	}
+}
+
+func TestZeroLengthTransferNoOp(t *testing.T) {
+	eng, fs := testFS(t, DefaultConfig())
+	eng.Spawn("c", func(p *sim.Proc) {
+		f := fs.Create(p, 1)
+		before := p.Now()
+		f.Write(p, 0, 0, 0)
+		if p.Now() != before {
+			t.Error("zero-length write consumed time")
+		}
+	})
+	eng.Run()
+}
+
+func TestIORStripeSweep(t *testing.T) {
+	// Aggregate bandwidth from many clients on one shared file improves
+	// with stripe count until OSS/OST resources saturate.
+	bw := func(stripes int) float64 {
+		sys := core.NewSystem(machine.XT4(), machine.SN, 16)
+		res, err := RunIOR(sys, DefaultConfig(), IORParams{
+			Tasks:        16,
+			BytesPerTask: 8 << 20,
+			TransferSize: 1 << 20,
+			StripeCount:  stripes,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.WriteBW
+	}
+	one := bw(1)
+	eight := bw(8)
+	if eight <= one {
+		t.Fatalf("shared-file write bw: 8 stripes %.3g should beat 1 stripe %.3g", eight, one)
+	}
+}
+
+func TestIORFilePerProcessScales(t *testing.T) {
+	run := func(tasks int) float64 {
+		sys := core.NewSystem(machine.XT4(), machine.SN, tasks)
+		res, err := RunIOR(sys, DefaultConfig(), IORParams{
+			Tasks:          tasks,
+			BytesPerTask:   4 << 20,
+			TransferSize:   1 << 20,
+			StripeCount:    1,
+			FilePerProcess: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.WriteBW
+	}
+	small := run(4)
+	large := run(32)
+	if large <= small {
+		t.Fatalf("file-per-process bw should scale: %d clients %.3g vs %.3g", 32, large, small)
+	}
+}
+
+func TestIORMetadataStormVisible(t *testing.T) {
+	sys := core.NewSystem(machine.XT4(), machine.SN, 64)
+	res, err := RunIOR(sys, DefaultConfig(), IORParams{
+		Tasks:          64,
+		BytesPerTask:   1 << 20,
+		TransferSize:   1 << 20,
+		StripeCount:    1,
+		FilePerProcess: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 serialised creates at 250 µs each ≈ 16 ms.
+	if res.MetaSeconds < 0.014 {
+		t.Fatalf("metadata phase %.4f s, want ≥ ~0.016 (single MDS)", res.MetaSeconds)
+	}
+}
+
+func TestIORValidation(t *testing.T) {
+	sys := core.NewSystem(machine.XT4(), machine.SN, 2)
+	if _, err := RunIOR(sys, DefaultConfig(), IORParams{Tasks: 0, BytesPerTask: 1, TransferSize: 1}); err == nil {
+		t.Error("zero tasks accepted")
+	}
+	if _, err := RunIOR(sys, DefaultConfig(), IORParams{Tasks: 2, BytesPerTask: 10, TransferSize: 100}); err == nil {
+		t.Error("transfer > total accepted")
+	}
+}

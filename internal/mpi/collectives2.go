@@ -1,0 +1,109 @@
+package mpi
+
+import "math"
+
+// Additional collectives: ReduceScatter and Scan (exclusive prefix is not
+// provided; MPI_Scan is inclusive). POP's production configurations use
+// ReduceScatter-based allreduce variants, and these complete the
+// collective surface a downstream user expects from an MPI-like runtime.
+
+// Internal tags continue the sequence from mpi.go.
+const (
+	tagReduceScatter = -100 - iota
+	tagScan
+)
+
+// ReduceScatter combines data from all ranks with op and leaves rank i
+// with element block i. For the size-only form, bytesEach is the per-rank
+// result block size. The algorithmic form is the pairwise-exchange
+// (halving-distance) algorithm; the result slice (length len(data)/n,
+// rounded down) is returned when data is non-nil.
+func (p *P) ReduceScatter(op Op, bytesEach int64, data []float64) []float64 {
+	defer p.track(OpReduce)()
+	n := len(p.c.group)
+	if n == 1 {
+		return cloneFloats(data)
+	}
+	if p.useAnalytic() {
+		alpha, invBW := p.netParams()
+		rounds := math.Ceil(math.Log2(float64(n)))
+		p.analytic(func() float64 { return rounds * (alpha + float64(bytesEach)*invBW) })
+		full := p.accumulateShared(op, data)
+		return scatterBlock(full, p.me, n)
+	}
+	// Reduce then scatter through shared state for the data, with the
+	// cost carried by an explicit pairwise exchange: each of the n-1
+	// rounds moves bytesEach (the steady-state block volume of the
+	// halving algorithm).
+	acc := cloneFloats(data)
+	for i := 1; i < n; i++ {
+		dst := (p.me + i) % n
+		src := (p.me - i + n) % n
+		sreq := p.isendData(dst, tagReduceScatter, bytesEach, nil)
+		p.Recv(src, tagReduceScatter)
+		p.Wait(sreq)
+	}
+	full := p.accumulateShared(op, acc)
+	return scatterBlock(full, p.me, n)
+}
+
+func scatterBlock(full []float64, rank, n int) []float64 {
+	if full == nil {
+		return nil
+	}
+	block := len(full) / n
+	if block == 0 {
+		return nil
+	}
+	out := make([]float64, block)
+	copy(out, full[rank*block:(rank+1)*block])
+	return out
+}
+
+// Scan computes the inclusive prefix reduction: rank i receives the
+// combination of ranks 0..i. Linear-chain algorithm (latency n·alpha,
+// matching small communicators; production MPIs use the same for small n).
+func (p *P) Scan(op Op, bytes int64, data []float64) []float64 {
+	defer p.track(OpReduce)()
+	n := len(p.c.group)
+	acc := cloneFloats(data)
+	if n == 1 {
+		return acc
+	}
+	if p.useAnalytic() {
+		alpha, invBW := p.netParams()
+		rounds := math.Ceil(math.Log2(float64(n)))
+		p.analytic(func() float64 { return rounds * (alpha + float64(bytes)*invBW) })
+		// Build the prefix via shared state (cost already charged).
+		st := p.sync()
+		if st.shared == nil {
+			st.shared = make([]any, n+1)
+		}
+		st.shared[p.me] = cloneFloats(data)
+		st.arrived++
+		if st.arrived < n {
+			st.cond.Await(p.task.Proc)
+		} else {
+			st.cond.Broadcast()
+		}
+		if data == nil {
+			return nil
+		}
+		out := cloneFloats(st.shared[0].([]float64))
+		for r := 1; r <= p.me; r++ {
+			op.combine(out, st.shared[r].([]float64))
+		}
+		return out
+	}
+	// Chain: receive prefix from the left, combine, pass to the right.
+	if p.me > 0 {
+		env := p.Recv(p.me-1, tagScan)
+		if acc != nil && env.Data != nil {
+			op.combine(acc, env.Data)
+		}
+	}
+	if p.me < n-1 {
+		p.sendData(p.me+1, tagScan, bytes, acc)
+	}
+	return acc
+}

@@ -1,0 +1,821 @@
+// Package mpi implements a simulated message-passing runtime over the
+// modelled SeaStar fabric: point-to-point operations with eager/rendezvous
+// semantics inherited from the network layer, nonblocking requests, and
+// collectives implemented as real algorithms (dissemination barrier,
+// binomial trees, recursive doubling, pairwise exchange) whose costs emerge
+// from the network model exactly as they do on hardware.
+//
+// Collectives optionally carry real float64 payloads so the algorithms can
+// be tested for correctness (an Allreduce really sums), not only for cost.
+//
+// For very large task counts the runtime can switch collectives to an
+// analytic closed-form cost model (validated against the algorithmic
+// implementation at small scale by tests); this keeps 22,000-task POP runs
+// tractable — the paper's Figure 18 scale — without changing p2p modelling.
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"xtsim/internal/core"
+	"xtsim/internal/machine"
+	"xtsim/internal/network"
+	"xtsim/internal/sim"
+)
+
+// CollectiveMode selects how collectives are executed.
+type CollectiveMode int
+
+const (
+	// Auto uses algorithmic collectives up to AnalyticThreshold tasks and
+	// the analytic model beyond.
+	Auto CollectiveMode = iota
+	// Algorithmic always runs the real message-by-message algorithms.
+	Algorithmic
+	// Analytic always uses the closed-form cost model.
+	Analytic
+)
+
+// AnalyticThreshold is the communicator size above which Auto mode switches
+// to analytic collectives.
+const AnalyticThreshold = 384
+
+// Op is a reduction operator.
+type Op int
+
+// Reduction operators for Reduce/Allreduce.
+const (
+	Sum Op = iota
+	Max
+	Min
+)
+
+func (o Op) combine(dst, src []float64) {
+	switch o {
+	case Sum:
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	case Max:
+		for i := range dst {
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	case Min:
+		for i := range dst {
+			if src[i] < dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	default:
+		panic(fmt.Sprintf("mpi: unknown op %d", int(o)))
+	}
+}
+
+// Envelope is a received message.
+type Envelope struct {
+	Src   int // sender's rank within the communicator
+	Tag   int
+	Bytes int64
+	Data  []float64 // nil for size-only messages
+}
+
+type msgKey struct {
+	comm int
+	src  int // global task id
+	tag  int
+}
+
+// World is the runtime shared by all tasks of one system run.
+type World struct {
+	sys      *core.System
+	boxes    []map[msgKey]*sim.Mailbox // per global task
+	comms    int                       // comm id allocator
+	CollMode CollectiveMode
+
+	// Stats by operation, for the phase breakdowns of Figures 16 and 19.
+	SentMsgs  uint64
+	SentBytes uint64
+}
+
+// NewWorld creates the runtime for sys.
+func NewWorld(sys *core.System) *World {
+	w := &World{sys: sys, boxes: make([]map[msgKey]*sim.Mailbox, sys.NumTasks)}
+	for i := range w.boxes {
+		w.boxes[i] = make(map[msgKey]*sim.Mailbox)
+	}
+	return w
+}
+
+func (w *World) box(task int, k msgKey) *sim.Mailbox {
+	b := w.boxes[task][k]
+	if b == nil {
+		b = &sim.Mailbox{}
+		w.boxes[task][k] = b
+	}
+	return b
+}
+
+// Comm is a communicator: an ordered group of tasks with its own rank
+// numbering, isolated tag space, and collective-synchronisation state.
+type Comm struct {
+	w     *World
+	id    int
+	group []int       // global task ids, indexed by local rank
+	index map[int]int // global task id -> local rank
+
+	syncs   []*syncState
+	members []*P // local-rank-indexed views, for shared-state coordination
+}
+
+type syncState struct {
+	arrived int
+	finish  sim.Time
+	acc     []float64
+	shared  []any
+	cond    sim.Condition
+}
+
+// P is one task's view of a communicator: the object application code
+// calls MPI-style operations on.
+type P struct {
+	c       *Comm
+	me      int // local rank
+	task    *core.Rank
+	collSeq int
+	opDepth int
+	prof    Profile
+}
+
+// Run spawns body on every task of sys with a world communicator and runs
+// the simulation, returning the makespan in seconds.
+func Run(sys *core.System, mode CollectiveMode, body func(p *P)) sim.Time {
+	w := NewWorld(sys)
+	w.CollMode = mode
+	comm := w.newComm(identity(sys.NumTasks))
+	return sys.Run(func(r *core.Rank) {
+		body(comm.view(r))
+	})
+}
+
+func identity(n int) []int {
+	g := make([]int, n)
+	for i := range g {
+		g[i] = i
+	}
+	return g
+}
+
+func (w *World) newComm(group []int) *Comm {
+	w.comms++
+	c := &Comm{w: w, id: w.comms, group: group, index: make(map[int]int, len(group))}
+	c.members = make([]*P, len(group))
+	for lr, g := range group {
+		c.members[lr] = &P{c: c, me: lr}
+		c.index[g] = lr
+	}
+	return c
+}
+
+// view attaches the task context lazily (the core.Rank exists only once the
+// process is spawned) and returns the task's rank-local view.
+func (c *Comm) view(task *core.Rank) *P {
+	lr, ok := c.index[task.ID]
+	if !ok {
+		panic(fmt.Sprintf("mpi: task %d not in communicator", task.ID))
+	}
+	p := c.members[lr]
+	p.task = task
+	return p
+}
+
+// Rank returns the calling task's rank within the communicator.
+func (p *P) Rank() int { return p.me }
+
+// Size returns the number of tasks in the communicator.
+func (p *P) Size() int { return len(p.c.group) }
+
+// Task exposes the underlying compute context for Compute calls.
+func (p *P) Task() *core.Rank { return p.task }
+
+// Now reports simulated time.
+func (p *P) Now() sim.Time { return p.task.Now() }
+
+// Compute is a convenience forwarding to the core cost model.
+func (p *P) Compute(w core.Work) { p.task.Compute(w) }
+
+// global maps a local rank to its global task id.
+func (p *P) global(rank int) int {
+	if rank < 0 || rank >= len(p.c.group) {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", rank, len(p.c.group)))
+	}
+	return p.c.group[rank]
+}
+
+// msg builds the network message descriptor for a transfer to dst.
+func (p *P) msg(dstTask int, bytes int64) network.Msg {
+	sys := p.c.w.sys
+	sn, sc := sys.Place(p.task.ID)
+	dn, dc := sys.Place(dstTask)
+	return network.Msg{
+		SrcNode: sn, SrcCore: sc,
+		DstNode: dn, DstCore: dc,
+		Bytes: bytes, Mode: sys.Mode,
+	}
+}
+
+// Send transmits bytes to dst with the given tag and blocks until the
+// payload has left the local node (eager buffering semantics).
+func (p *P) Send(dst, tag int, bytes int64) {
+	p.sendData(dst, tag, bytes, nil)
+}
+
+// SendData transmits a real float64 payload.
+func (p *P) SendData(dst, tag int, data []float64) {
+	p.sendData(dst, tag, int64(8*len(data)), data)
+}
+
+func (p *P) sendData(dst, tag int, bytes int64, data []float64) {
+	defer p.track(OpSend)()
+	req := p.isendData(dst, tag, bytes, data)
+	p.Wait(req)
+}
+
+// Isend starts a nonblocking send; the returned request completes when the
+// payload has left the node.
+func (p *P) Isend(dst, tag int, bytes int64) *Request {
+	return p.isendData(dst, tag, bytes, nil)
+}
+
+// IsendData starts a nonblocking send with a payload.
+func (p *P) IsendData(dst, tag int, data []float64) *Request {
+	return p.isendData(dst, tag, int64(8*len(data)), data)
+}
+
+func (p *P) isendData(dst, tag int, bytes int64, data []float64) *Request {
+	w := p.c.w
+	dstTask := p.global(dst)
+	// Copy the payload: eager-protocol buffering means the sender may
+	// freely mutate its buffer after the send is issued.
+	env := Envelope{Src: p.me, Tag: tag, Bytes: bytes, Data: cloneFloats(data)}
+	key := msgKey{comm: p.c.id, src: p.task.ID, tag: tag}
+	box := w.box(dstTask, key)
+
+	tl := w.sys.Fabric.Deliver(p.task.Now(), p.msg(dstTask, bytes), func(sim.Time) {
+		box.Send(env)
+	})
+	w.SentMsgs++
+	w.SentBytes += uint64(bytes)
+
+	req := &Request{}
+	w.sys.Eng.At(tl.Injected, func() {
+		req.done = true
+		req.cond.Broadcast()
+	})
+	return req
+}
+
+// Recv blocks until a message with the given source rank and tag arrives
+// and returns it. Matching is exact on (source, tag); messages from one
+// (source, tag) pair are delivered in order.
+func (p *P) Recv(src, tag int) Envelope {
+	defer p.track(OpRecv)()
+	srcTask := p.global(src)
+	key := msgKey{comm: p.c.id, src: srcTask, tag: tag}
+	box := p.c.w.box(p.task.ID, key)
+	return box.Recv(p.task.Proc).(Envelope)
+}
+
+// Irecv returns a request whose Wait performs the receive; the envelope is
+// available from the request afterwards.
+func (p *P) Irecv(src, tag int) *Request {
+	return &Request{recv: func() Envelope { return p.Recv(src, tag) }}
+}
+
+// SendRecv exchanges messages with potentially different partners, the
+// common halo-exchange primitive.
+func (p *P) SendRecv(dst, sendTag int, sendBytes int64, src, recvTag int) Envelope {
+	sreq := p.Isend(dst, sendTag, sendBytes)
+	env := p.Recv(src, recvTag)
+	p.Wait(sreq)
+	return env
+}
+
+// Request tracks a nonblocking operation.
+type Request struct {
+	done bool
+	cond sim.Condition
+	recv func() Envelope
+	env  Envelope
+}
+
+// Envelope returns the received message after Wait on an Irecv request.
+func (r *Request) Envelope() Envelope { return r.env }
+
+// Wait blocks until every request completes.
+func (p *P) Wait(reqs ...*Request) {
+	defer p.track(OpWait)()
+	for _, r := range reqs {
+		if r.recv != nil {
+			r.env = r.recv()
+			r.done = true
+			continue
+		}
+		for !r.done {
+			r.cond.Await(p.task.Proc)
+		}
+	}
+}
+
+// ---------- collective synchronisation scaffolding ----------
+
+// sync returns the per-callsite state for the p.collSeq-th collective on
+// this communicator. MPI semantics require all ranks to invoke collectives
+// in the same order, which makes the sequence number a safe key.
+func (p *P) sync() *syncState {
+	idx := p.collSeq
+	p.collSeq++
+	for len(p.c.syncs) <= idx {
+		p.c.syncs = append(p.c.syncs, &syncState{finish: -1})
+	}
+	return p.c.syncs[idx]
+}
+
+// analytic performs a collective with a closed-form cost: all ranks meet,
+// the last arriver computes the finish time from the meet time, and
+// everyone resumes at the finish.
+func (p *P) analytic(cost func() float64) {
+	st := p.sync()
+	st.arrived++
+	if st.arrived < len(p.c.group) {
+		st.cond.Await(p.task.Proc)
+	} else {
+		st.finish = p.task.Now() + cost()
+		st.cond.Broadcast()
+	}
+	p.task.Proc.WaitUntil(st.finish)
+}
+
+func (p *P) useAnalytic() bool {
+	switch p.c.w.CollMode {
+	case Algorithmic:
+		return false
+	case Analytic:
+		return true
+	default:
+		return len(p.c.group) > AnalyticThreshold
+	}
+}
+
+// netParams bundles the closed-form cost inputs.
+func (p *P) netParams() (alpha, invBW float64) {
+	sys := p.c.w.sys
+	hops := int(sys.Fabric.Tor.AvgHops())
+	// In VN mode half the endpoints are far cores on average.
+	far := sys.Mode == machine.VN && sys.M.CoresPerNode > 1
+	alpha = sys.Fabric.ZeroLatencyEstimate(hops, sys.Mode, false)
+	if far {
+		alpha = 0.5*alpha + 0.5*sys.Fabric.ZeroLatencyEstimate(hops, sys.Mode, true)
+	}
+	return alpha, 1 / sys.M.NIC.EffBW()
+}
+
+// bisectionBW estimates the machine bisection bandwidth in bytes/s for the
+// current system size.
+func (p *P) bisectionBW() float64 {
+	sys := p.c.w.sys
+	tor := sys.Fabric.Tor
+	if sys.M.Topology == machine.FlatSwitch {
+		return float64(tor.Nodes()) * sys.M.NIC.EffBW() / 2
+	}
+	// Cut the longest dimension: links crossing = 2 (torus wrap) × 2
+	// (directions) × cross-sectional area.
+	area := tor.NY * tor.NZ
+	if tor.NX < tor.NY && tor.NX*tor.NZ > area {
+		area = tor.NX * tor.NZ
+	}
+	return 4 * float64(area) * sys.M.Link.BW
+}
+
+// ---------- collectives ----------
+
+// Barrier blocks until every rank of the communicator has entered it.
+// Algorithmic form: dissemination barrier, ceil(log2 P) rounds.
+func (p *P) Barrier() {
+	defer p.track(OpBarrier)()
+	n := len(p.c.group)
+	if n == 1 {
+		return
+	}
+	if p.useAnalytic() {
+		alpha, _ := p.netParams()
+		rounds := math.Ceil(math.Log2(float64(n)))
+		p.analytic(func() float64 { return rounds * alpha })
+		return
+	}
+	for k := 1; k < n; k *= 2 {
+		dst := (p.me + k) % n
+		src := (p.me - k + n) % n
+		sreq := p.Isend(dst, tagBarrier, 0)
+		p.Recv(src, tagBarrier)
+		p.Wait(sreq)
+	}
+}
+
+// Internal collective tags (user tags must be non-negative).
+const (
+	tagBarrier = -1 - iota
+	tagBcast
+	tagReduce
+	tagAllreduce
+	tagAlltoall
+	tagAllgather
+	tagGather
+	tagScatter
+)
+
+// Bcast sends bytes (and optionally data) from root to every rank using a
+// binomial tree; returns the data on every rank.
+func (p *P) Bcast(root int, bytes int64, data []float64) []float64 {
+	defer p.track(OpBcast)()
+	n := len(p.c.group)
+	if n == 1 {
+		return data
+	}
+	if p.useAnalytic() {
+		alpha, invBW := p.netParams()
+		rounds := math.Ceil(math.Log2(float64(n)))
+		p.analytic(func() float64 { return rounds * (alpha + float64(bytes)*invBW) })
+		return p.shareFromRoot(root, data)
+	}
+	// Rotate so root is rank 0 in tree coordinates.
+	vr := (p.me - root + n) % n
+	// Receive from parent (unless root).
+	if vr != 0 {
+		mask := 1
+		for mask < n {
+			if vr&mask != 0 {
+				parent := ((vr - mask) + root) % n
+				env := p.Recv(p.localOf(parent), tagBcast)
+				data = env.Data
+				break
+			}
+			mask <<= 1
+		}
+	}
+	// Forward to children.
+	mask := 1
+	for mask < n {
+		if vr&mask != 0 {
+			break
+		}
+		mask <<= 1
+	}
+	var reqs []*Request
+	for m := mask >> 1; m >= 1; m >>= 1 {
+		child := vr | m
+		if child < n && child != vr {
+			reqs = append(reqs, p.isendData(p.localOf((child+root)%n), tagBcast, bytes, data))
+		}
+	}
+	p.Wait(reqs...)
+	return data
+}
+
+// localOf is identity (group ranks are already local); kept for clarity at
+// call sites translating virtual tree ranks.
+func (p *P) localOf(rank int) int { return rank }
+
+// shareFromRoot distributes root's data through shared simulation state
+// (used by analytic collectives, whose cost is already accounted for).
+func (p *P) shareFromRoot(root int, data []float64) []float64 {
+	st := p.sync()
+	st.arrived++
+	if p.me == root {
+		st.acc = data
+	}
+	if st.arrived < len(p.c.group) {
+		st.cond.Await(p.task.Proc)
+	} else {
+		st.cond.Broadcast()
+	}
+	return st.acc
+}
+
+// Reduce combines data from all ranks onto root with op, returning the
+// result on root (nil elsewhere). Size-only reductions pass nil data and a
+// positive bytes count.
+func (p *P) Reduce(root int, op Op, bytes int64, data []float64) []float64 {
+	defer p.track(OpReduce)()
+	n := len(p.c.group)
+	if n == 1 {
+		return cloneFloats(data)
+	}
+	if p.useAnalytic() {
+		alpha, invBW := p.netParams()
+		rounds := math.Ceil(math.Log2(float64(n)))
+		p.analytic(func() float64 { return rounds * (alpha + float64(bytes)*invBW) })
+		res := p.accumulateShared(op, data)
+		if p.me == root {
+			return res
+		}
+		return nil
+	}
+	// Binomial tree reduction toward virtual rank 0 (= root).
+	vr := (p.me - root + n) % n
+	acc := cloneFloats(data)
+	for mask := 1; mask < n; mask <<= 1 {
+		if vr&mask != 0 {
+			parent := ((vr &^ mask) + root) % n
+			p.sendData(p.localOf(parent), tagReduce, bytes, acc)
+			return nil
+		}
+		child := vr | mask
+		if child < n {
+			env := p.Recv(p.localOf((child+root)%n), tagReduce)
+			if acc != nil && env.Data != nil {
+				op.combine(acc, env.Data)
+			}
+		}
+	}
+	return acc
+}
+
+// accumulateShared combines every rank's contribution via shared state;
+// cost must already have been charged by the caller.
+func (p *P) accumulateShared(op Op, data []float64) []float64 {
+	st := p.sync()
+	if data != nil {
+		if st.acc == nil {
+			st.acc = cloneFloats(data)
+		} else {
+			op.combine(st.acc, data)
+		}
+	}
+	st.arrived++
+	if st.arrived < len(p.c.group) {
+		st.cond.Await(p.task.Proc)
+	} else {
+		st.cond.Broadcast()
+	}
+	return st.acc
+}
+
+// Allreduce combines data across all ranks with op and returns the result
+// on every rank. Algorithmic form: recursive doubling with pre/post folding
+// for non-power-of-two sizes — the pattern whose latency dominates POP's
+// barotropic phase (§6.2).
+func (p *P) Allreduce(op Op, bytes int64, data []float64) []float64 {
+	defer p.track(OpAllreduce)()
+	n := len(p.c.group)
+	if n == 1 {
+		return cloneFloats(data)
+	}
+	if p.useAnalytic() {
+		alpha, invBW := p.netParams()
+		rounds := math.Ceil(math.Log2(float64(n)))
+		p.analytic(func() float64 { return rounds * (alpha + float64(bytes)*invBW) })
+		return p.accumulateShared(op, data)
+	}
+
+	acc := cloneFloats(data)
+	// Largest power of two ≤ n.
+	pow2 := 1
+	for pow2*2 <= n {
+		pow2 *= 2
+	}
+	rem := n - pow2
+
+	// Fold: ranks ≥ pow2 send to rank-pow2 partners, which absorb them.
+	if p.me >= pow2 {
+		p.sendData(p.me-pow2, tagAllreduce, bytes, acc)
+	} else {
+		if p.me < rem {
+			env := p.Recv(p.me+pow2, tagAllreduce)
+			if acc != nil && env.Data != nil {
+				op.combine(acc, env.Data)
+			}
+		}
+		// Recursive doubling among the pow2 group.
+		for mask := 1; mask < pow2; mask <<= 1 {
+			partner := p.me ^ mask
+			sreq := p.isendData(partner, tagAllreduce, bytes, acc)
+			env := p.Recv(partner, tagAllreduce)
+			p.Wait(sreq)
+			if acc != nil && env.Data != nil {
+				op.combine(acc, env.Data)
+			}
+		}
+	}
+	// Unfold: partners return the result to the folded ranks.
+	if p.me < rem {
+		p.sendData(p.me+pow2, tagAllreduce, bytes, acc)
+	} else if p.me >= pow2 {
+		env := p.Recv(p.me-pow2, tagAllreduce)
+		acc = env.Data
+	}
+	return acc
+}
+
+// Alltoall exchanges bytesEach with every other rank (pairwise exchange).
+func (p *P) Alltoall(bytesEach int64) {
+	n := len(p.c.group)
+	sizes := make([]int64, n)
+	for i := range sizes {
+		if i != p.me {
+			sizes[i] = bytesEach
+		}
+	}
+	p.Alltoallv(sizes)
+}
+
+// Alltoallv sends sendSizes[i] bytes to rank i (entries for self are
+// ignored). The algorithmic form is the (rank+i)/(rank-i) pairwise
+// schedule; the analytic form charges injection, per-pair overhead, and
+// bisection terms. This is the operation behind CAM's physics
+// load-balancing and dynamics remaps (§6.1) and the HPCC PTRANS/MPI-FFT
+// transposes.
+func (p *P) Alltoallv(sendSizes []int64) {
+	defer p.track(OpAlltoall)()
+	n := len(p.c.group)
+	if len(sendSizes) != n {
+		panic(fmt.Sprintf("mpi: Alltoallv sizes len %d != comm size %d", len(sendSizes), n))
+	}
+	if n == 1 {
+		return
+	}
+	if p.useAnalytic() {
+		var total int64
+		for i, s := range sendSizes {
+			if i != p.me {
+				total += s
+			}
+		}
+		alpha, invBW := p.netParams()
+		bis := p.bisectionBW()
+		// Per-pair software overhead pipelines to ~1/4 of the one-way
+		// latency in SN mode; in VN mode every message serialises through
+		// the node's NIC-handling core, so nothing pipelines — this is the
+		// mechanism behind the paper's finding that the SN-over-VN gap in
+		// CAM's physics is mostly its Alltoallv (§6.1).
+		overFactor := 0.25
+		sys := p.c.w.sys
+		if sys.Mode == machine.VN && sys.M.CoresPerNode > 1 {
+			overFactor = 1.0
+		}
+		p.analytic(func() float64 {
+			inj := float64(total) * invBW
+			// All ranks inject concurrently; roughly half of the total
+			// traffic crosses the machine bisection.
+			cross := float64(total) * float64(n) / 2
+			bisT := cross / bis
+			over := float64(n-1) * (alpha * overFactor)
+			t := inj + over
+			if bisT > t {
+				t = bisT
+			}
+			return t
+		})
+		return
+	}
+	var reqs []*Request
+	for i := 1; i < n; i++ {
+		dst := (p.me + i) % n
+		src := (p.me - i + n) % n
+		// A zero-size message is still sent to keep the pairwise schedule
+		// aligned; the fabric charges only software overheads for it.
+		reqs = append(reqs, p.Isend(dst, tagAlltoall, sendSizes[dst]))
+		p.Recv(src, tagAlltoall)
+	}
+	p.Wait(reqs...)
+}
+
+// Allgather makes bytesEach from every rank available everywhere (ring
+// algorithm, bandwidth-optimal).
+func (p *P) Allgather(bytesEach int64) {
+	defer p.track(OpAllgather)()
+	n := len(p.c.group)
+	if n == 1 {
+		return
+	}
+	if p.useAnalytic() {
+		alpha, invBW := p.netParams()
+		p.analytic(func() float64 {
+			return float64(n-1) * (alpha*0.25 + float64(bytesEach)*invBW)
+		})
+		return
+	}
+	right := (p.me + 1) % n
+	left := (p.me - 1 + n) % n
+	for i := 0; i < n-1; i++ {
+		sreq := p.Isend(right, tagAllgather, bytesEach)
+		p.Recv(left, tagAllgather)
+		p.Wait(sreq)
+	}
+}
+
+// Gather collects bytesEach from every rank at root (direct).
+func (p *P) Gather(root int, bytesEach int64) {
+	defer p.track(OpGatherScatter)()
+	n := len(p.c.group)
+	if n == 1 {
+		return
+	}
+	if p.me == root {
+		for r := 0; r < n; r++ {
+			if r != root {
+				p.Recv(r, tagGather)
+			}
+		}
+		return
+	}
+	p.Send(root, tagGather, bytesEach)
+}
+
+// Scatter distributes bytesEach from root to every rank (direct).
+func (p *P) Scatter(root int, bytesEach int64) {
+	defer p.track(OpGatherScatter)()
+	n := len(p.c.group)
+	if n == 1 {
+		return
+	}
+	if p.me == root {
+		var reqs []*Request
+		for r := 0; r < n; r++ {
+			if r != root {
+				reqs = append(reqs, p.Isend(r, tagScatter, bytesEach))
+			}
+		}
+		p.Wait(reqs...)
+		return
+	}
+	p.Recv(root, tagScatter)
+}
+
+// Split partitions the communicator by color, ordering each new group by
+// (key, rank), and returns the calling rank's view of its new
+// communicator. Like MPI_Comm_split, it is collective.
+func (p *P) Split(color, key int) *P {
+	type entry struct{ color, key, rank int }
+	st := p.sync()
+	if st.shared == nil {
+		st.shared = make([]any, len(p.c.group)+1)
+	}
+	st.shared[p.me] = entry{color: color, key: key, rank: p.me}
+	st.arrived++
+	if st.arrived < len(p.c.group) {
+		st.cond.Await(p.task.Proc)
+	} else {
+		// Last arriver computes all the subgroups deterministically.
+		var all []entry
+		for _, v := range st.shared[:len(p.c.group)] {
+			all = append(all, v.(entry))
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].color != all[j].color {
+				return all[i].color < all[j].color
+			}
+			if all[i].key != all[j].key {
+				return all[i].key < all[j].key
+			}
+			return all[i].rank < all[j].rank
+		})
+		comms := make(map[int]*Comm)
+		groups := make(map[int][]int)
+		for _, e := range all {
+			groups[e.color] = append(groups[e.color], p.c.group[e.rank])
+		}
+		// Deterministic comm creation order: ascending color.
+		var colors []int
+		for c := range groups {
+			colors = append(colors, c)
+		}
+		sort.Ints(colors)
+		for _, c := range colors {
+			comms[c] = p.c.w.newComm(groups[c])
+		}
+		st.shared[len(p.c.group)] = comms
+		st.cond.Broadcast()
+	}
+	comms := st.shared[len(p.c.group)].(map[int]*Comm)
+	// A cheap synchronisation cost: Split is typically done once at setup.
+	return comms[color].view(p.task)
+}
+
+// Dup returns the calling rank's view of a duplicate communicator with a
+// fresh tag space.
+func (p *P) Dup() *P {
+	return p.Split(0, p.me)
+}
+
+func cloneFloats(d []float64) []float64 {
+	if d == nil {
+		return nil
+	}
+	out := make([]float64, len(d))
+	copy(out, d)
+	return out
+}

@@ -1,0 +1,101 @@
+package mpi
+
+import "fmt"
+
+// OpClass categorises MPI operations for time attribution. The paper
+// explains its application results through exactly this kind of
+// accounting: §6.1 attributes 70% of CAM's SN/VN physics difference to
+// MPI_Alltoallv, §6.2 pins POP's barotropic ceiling on MPI_Allreduce.
+type OpClass int
+
+// Operation classes, in display order.
+const (
+	OpSend OpClass = iota
+	OpRecv
+	OpWait
+	OpBarrier
+	OpBcast
+	OpReduce
+	OpAllreduce
+	OpAlltoall
+	OpAllgather
+	OpGatherScatter
+	numOpClasses
+)
+
+// String returns the MPI-style name.
+func (o OpClass) String() string {
+	switch o {
+	case OpSend:
+		return "Send"
+	case OpRecv:
+		return "Recv"
+	case OpWait:
+		return "Wait"
+	case OpBarrier:
+		return "Barrier"
+	case OpBcast:
+		return "Bcast"
+	case OpReduce:
+		return "Reduce"
+	case OpAllreduce:
+		return "Allreduce"
+	case OpAlltoall:
+		return "Alltoall(v)"
+	case OpAllgather:
+		return "Allgather"
+	case OpGatherScatter:
+		return "Gather/Scatter"
+	}
+	return fmt.Sprintf("OpClass(%d)", int(o))
+}
+
+// Profile accumulates per-rank blocked time and call counts by operation
+// class. Only top-level operations are attributed: the point-to-point
+// traffic inside an algorithmic collective counts toward the collective,
+// not toward Send/Recv.
+type Profile struct {
+	Seconds [numOpClasses]float64
+	Calls   [numOpClasses]uint64
+}
+
+// Total returns the summed MPI time in seconds.
+func (p *Profile) Total() float64 {
+	t := 0.0
+	for _, s := range p.Seconds {
+		t += s
+	}
+	return t
+}
+
+// Collective returns time in collective operations only.
+func (p *Profile) Collective() float64 {
+	t := 0.0
+	for op := OpBarrier; op <= OpGatherScatter; op++ {
+		t += p.Seconds[op]
+	}
+	return t
+}
+
+// track wraps a blocking region: it charges elapsed simulated time to
+// class unless a surrounding tracked region is already open (nesting depth
+// keeps algorithmic collectives from double-counting their internal p2p).
+func (p *P) track(class OpClass) func() {
+	p.opDepth++
+	if p.opDepth > 1 {
+		return func() { p.opDepth-- }
+	}
+	start := p.task.Now()
+	return func() {
+		p.opDepth--
+		now := p.task.Now()
+		p.prof.Seconds[class] += now - start
+		p.prof.Calls[class]++
+		if tr := p.c.w.sys.Tracer; tr != nil {
+			tr.Record(p.task.ID, class.String(), start, now)
+		}
+	}
+}
+
+// Profile returns the rank's accumulated MPI time attribution.
+func (p *P) Profile() *Profile { return &p.prof }

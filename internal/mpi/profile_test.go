@@ -1,0 +1,80 @@
+package mpi
+
+import (
+	"testing"
+
+	"xtsim/internal/machine"
+)
+
+func TestProfileAttributesBlockedTime(t *testing.T) {
+	sys := newSys(4, machine.SN)
+	var prof Profile
+	Run(sys, Algorithmic, func(p *P) {
+		// Rank 3 arrives at the barrier late; the others' wait time must
+		// land in the Barrier bucket.
+		if p.Rank() == 3 {
+			p.Task().ComputeSeconds(0.01)
+		}
+		p.Barrier()
+		p.Allreduce(Sum, 8, nil)
+		if p.Rank() == 0 {
+			prof = *p.Profile()
+		}
+	})
+	if prof.Calls[OpBarrier] != 1 || prof.Calls[OpAllreduce] != 1 {
+		t.Fatalf("call counts: %+v", prof.Calls)
+	}
+	if prof.Seconds[OpBarrier] < 0.009 {
+		t.Errorf("barrier wait = %v, want ≈ 0.01 (late arriver)", prof.Seconds[OpBarrier])
+	}
+	if prof.Total() <= prof.Seconds[OpBarrier] {
+		t.Error("total should include the allreduce too")
+	}
+	if prof.Collective() != prof.Total() {
+		t.Errorf("all time is collective here: %v vs %v", prof.Collective(), prof.Total())
+	}
+}
+
+func TestProfileNoDoubleCountingInsideCollectives(t *testing.T) {
+	// The p2p traffic inside an algorithmic Bcast must not inflate the
+	// Send/Recv/Wait buckets.
+	sys := newSys(8, machine.SN)
+	Run(sys, Algorithmic, func(p *P) {
+		p.Bcast(0, 4096, nil)
+		prof := p.Profile()
+		if prof.Calls[OpSend] != 0 || prof.Calls[OpRecv] != 0 || prof.Calls[OpWait] != 0 {
+			t.Errorf("rank %d: internal p2p leaked into profile: %+v", p.Rank(), prof.Calls)
+		}
+		if prof.Calls[OpBcast] != 1 {
+			t.Errorf("rank %d: bcast calls = %d", p.Rank(), prof.Calls[OpBcast])
+		}
+	})
+}
+
+func TestProfileTopLevelP2PCounted(t *testing.T) {
+	sys := newSys(2, machine.SN)
+	Run(sys, Algorithmic, func(p *P) {
+		if p.Rank() == 0 {
+			p.Send(1, 0, 1<<20)
+			if p.Profile().Calls[OpSend] != 1 {
+				t.Errorf("send not counted: %+v", p.Profile().Calls)
+			}
+		} else {
+			p.Recv(0, 0)
+			if got := p.Profile().Seconds[OpRecv]; got <= 0 {
+				t.Errorf("recv time = %v", got)
+			}
+		}
+	})
+}
+
+func TestOpClassStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for op := OpSend; op < numOpClasses; op++ {
+		s := op.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad or duplicate name for op %d: %q", int(op), s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,274 @@
+// Package network models message transport over the Cray SeaStar /
+// SeaStar2 interconnect (and, for the comparison platforms, switched
+// fabrics): NIC injection bandwidth, per-link occupancy with cut-through
+// pipelining, router hop latency, MPI software overheads, the
+// eager/rendezvous protocol switch, intra-node memory-copy transfers, and
+// the virtual-node-mode NIC-sharing penalty that drives many of the
+// paper's results.
+//
+// The fabric is pure reservation bookkeeping on top of sim.FIFOResource:
+// when a message departs, its complete timeline (injection, every link
+// along the dimension-ordered route, ejection) is computed in one event and
+// the arrival callback is scheduled. Contention appears through the
+// busy-until state that earlier messages leave on each resource.
+package network
+
+import (
+	"fmt"
+
+	"xtsim/internal/machine"
+	"xtsim/internal/sim"
+	"xtsim/internal/torus"
+)
+
+// usToS converts the microsecond parameters of machine configs to seconds.
+const usToS = 1e-6
+
+// Fabric is the interconnect of one simulated system instance.
+type Fabric struct {
+	Eng *sim.Engine
+	M   machine.Machine
+	Tor torus.Torus
+
+	links   []sim.FIFOResource // directed torus links, indexed by Tor.LinkID
+	nicTx   []sim.FIFOResource // per-node injection port
+	nicRx   []sim.FIFOResource // per-node ejection port (binding on flat fabrics)
+	vnProxy []sim.FIFOResource // per-node VN-mode message-handling core
+	derate  map[int]float64    // per-link bandwidth multipliers (fault injection)
+
+	// MsgsDelivered counts completed transfers, for reporting.
+	MsgsDelivered uint64
+	// BytesDelivered accumulates payload bytes, for reporting.
+	BytesDelivered uint64
+}
+
+// New builds a fabric for nNodes nodes of machine m.
+func New(eng *sim.Engine, m machine.Machine, nNodes int) *Fabric {
+	tor := m.TorusFor(nNodes)
+	return &Fabric{
+		Eng:     eng,
+		M:       m,
+		Tor:     tor,
+		links:   make([]sim.FIFOResource, tor.NumLinks()),
+		nicTx:   make([]sim.FIFOResource, tor.Nodes()),
+		nicRx:   make([]sim.FIFOResource, tor.Nodes()),
+		vnProxy: make([]sim.FIFOResource, tor.Nodes()),
+	}
+}
+
+// Msg describes one point-to-point transfer.
+type Msg struct {
+	SrcNode, DstNode int
+	SrcCore, DstCore int // core index within the node (0-based)
+	Bytes            int64
+	Mode             machine.Mode
+}
+
+func (m Msg) String() string {
+	return fmt.Sprintf("msg %d.%d -> %d.%d (%d bytes)", m.SrcNode, m.SrcCore, m.DstNode, m.DstCore, m.Bytes)
+}
+
+// Timeline is the computed schedule of a transfer.
+type Timeline struct {
+	// Depart is when the sender invoked the transfer.
+	Depart sim.Time
+	// Injected is when the payload finished leaving the source node; a
+	// blocking MPI send returns at this point (eager buffering).
+	Injected sim.Time
+	// Arrive is when the payload is fully available at the receiver,
+	// including receive-side software overhead.
+	Arrive sim.Time
+}
+
+// Deliver computes the transfer timeline for msg departing at time at and
+// schedules onArrive at the arrival instant. It returns the timeline so
+// senders can block until local completion. Deliver must be called from an
+// event or process at simulated time at (it reserves resources relative to
+// the current schedule).
+func (f *Fabric) Deliver(at sim.Time, msg Msg, onArrive func(arrive sim.Time)) Timeline {
+	if msg.Bytes < 0 {
+		panic(fmt.Sprintf("network: negative message size %d", msg.Bytes))
+	}
+	if msg.SrcNode < 0 || msg.SrcNode >= f.Tor.Nodes() || msg.DstNode < 0 || msg.DstNode >= f.Tor.Nodes() {
+		panic(fmt.Sprintf("network: node out of range in %v (fabric has %d nodes)", msg, f.Tor.Nodes()))
+	}
+
+	var tl Timeline
+	if msg.SrcNode == msg.DstNode {
+		tl = f.deliverLocal(at, msg)
+		if onArrive != nil {
+			f.Eng.At(tl.Arrive, func() { onArrive(tl.Arrive) })
+		}
+	} else {
+		tl = f.deliverRemote(at, msg, onArrive)
+	}
+	f.MsgsDelivered++
+	f.BytesDelivered += uint64(msg.Bytes)
+	return tl
+}
+
+// deliverLocal models a same-node (core-to-core) transfer: §2 notes that
+// messages between two cores on the same socket are handled through a
+// memory copy. Software overheads are roughly halved because no Portals
+// descriptor or NIC doorbell is involved.
+func (f *Fabric) deliverLocal(at sim.Time, msg Msg) Timeline {
+	nic := f.M.NIC
+	t := at + 0.5*nic.SendOverheadUS*usToS
+	copyTime := float64(msg.Bytes) / nic.MemcpyBW
+	done := t + copyTime
+	arrive := done + 0.5*nic.RecvOverheadUS*usToS
+	return Timeline{Depart: at, Injected: done, Arrive: arrive}
+}
+
+// deliverRemote models the full network path and schedules onArrive. The
+// send side (software overhead, VN proxy, injection, links) is computed
+// eagerly in reservation order, which is also time order for a node's own
+// sends; the receive-side VN proxy is handled by an event at the payload's
+// tail-arrival time, so that proxy queueing follows *arrival* order — a
+// FIFO reserved eagerly with future timestamps would queue messages in
+// send order and inflate contention unboundedly.
+func (f *Fabric) deliverRemote(at sim.Time, msg Msg, onArrive func(sim.Time)) Timeline {
+	nic := f.M.NIC
+	link := f.M.Link
+	size := float64(msg.Bytes)
+
+	// Send-side software overhead.
+	t := at + nic.SendOverheadUS*usToS
+
+	// Rendezvous protocol: large messages pay a control round-trip before
+	// the payload moves (request-to-send / clear-to-send).
+	hops := f.Tor.Hops(msg.SrcNode, msg.DstNode)
+	if nic.RendezvousThresholdBytes > 0 && msg.Bytes > int64(nic.RendezvousThresholdBytes) {
+		rtt := 2 * (nic.SendOverheadUS*usToS + float64(hops)*link.HopLatencyUS*usToS)
+		t += rtt
+	}
+
+	// Virtual-node mode: traffic to or from the non-NIC core is mediated
+	// by core 0, adding fixed latency plus queueing on the handling core.
+	if msg.Mode == machine.VN && nic.VNProxyUS > 0 {
+		if msg.SrcCore > 0 {
+			t += nic.VNMediationUS * usToS
+		}
+		start := f.vnProxy[msg.SrcNode].Reserve(t, nic.VNProxyUS*usToS)
+		t = start + nic.VNProxyUS*usToS
+	}
+
+	// NIC injection: the payload serialises through the HyperTransport/
+	// NIC path at the effective injection bandwidth.
+	injTime := size / nic.EffBW()
+	t0 := f.nicTx[msg.SrcNode].Reserve(t, injTime)
+
+	// Links along the dimension-ordered route, cut-through pipelined: the
+	// head flit advances one hop latency per link, and each link is
+	// occupied for the full serialisation time, so contending flows push
+	// each other back.
+	route := f.Tor.Route(msg.SrcNode, msg.DstNode)
+	head := t0
+	var lastStart sim.Time = t0
+	lastSer := 0.0
+	for _, l := range route {
+		id := f.Tor.LinkID(l)
+		bw := link.BW
+		if d, ok := f.derate[id]; ok {
+			bw *= d
+		}
+		linkSer := size / bw
+		s := f.links[id].Reserve(head+link.HopLatencyUS*usToS, linkSer)
+		head = s
+		lastStart = s
+		lastSer = linkSer
+	}
+
+	// Tail arrival at the destination node: bounded below both by the last
+	// link's serialisation and by injection completing plus the route's
+	// pipeline latency (the wormhole can't outrun the source).
+	tail := lastStart + lastSer
+	if lower := t0 + injTime + float64(hops)*link.HopLatencyUS*usToS; lower > tail {
+		tail = lower
+	}
+
+	// On flat switched fabrics the ejection port is a real bottleneck
+	// (many-to-one patterns); on the torus the final link already
+	// serialised arrivals into the node.
+	if f.M.Topology == machine.FlatSwitch {
+		ej := size / nic.EffBW()
+		s := f.nicRx[msg.DstNode].Reserve(tail-ej, ej)
+		tail = s + ej
+	}
+
+	// Receive-side mediation and software overhead.
+	injected := t0 + injTime
+	recvOv := nic.RecvOverheadUS * usToS
+	if msg.Mode == machine.VN && nic.VNProxyUS > 0 {
+		dur := nic.VNProxyUS * usToS
+		med := 0.0
+		if msg.DstCore > 0 {
+			med = nic.VNMediationUS * usToS
+		}
+		// Reserve the handling core when the payload actually arrives, so
+		// contention reflects arrival order.
+		f.Eng.At(tail, func() {
+			start := f.vnProxy[msg.DstNode].Reserve(f.Eng.Now(), dur)
+			arr := start + dur + med + recvOv
+			if onArrive != nil {
+				f.Eng.At(arr, func() { onArrive(arr) })
+			}
+		})
+		// The returned timeline carries the uncontended estimate; the
+		// authoritative arrival is the onArrive callback's timestamp.
+		return Timeline{Depart: at, Injected: injected, Arrive: tail + dur + med + recvOv}
+	}
+	arrive := tail + recvOv
+	if onArrive != nil {
+		f.Eng.At(arrive, func() { onArrive(arrive) })
+	}
+	return Timeline{Depart: at, Injected: injected, Arrive: arrive}
+}
+
+// DegradeLink installs a bandwidth multiplier on one directed link
+// (fault injection: a flaky SeaStar cable or a link running in a degraded
+// width). factor must be in (0, 1]; passing 1 removes the derating.
+// Deterministic routing means traffic crossing the link simply slows —
+// the XT has no adaptive rerouting to hide it, which is what makes slow
+// links so visible operationally.
+func (f *Fabric) DegradeLink(l torus.Link, factor float64) {
+	if factor <= 0 || factor > 1 {
+		panic(fmt.Sprintf("network: link derate factor %g out of (0,1]", factor))
+	}
+	if f.derate == nil {
+		f.derate = make(map[int]float64)
+	}
+	id := f.Tor.LinkID(l)
+	if factor == 1 {
+		delete(f.derate, id)
+		return
+	}
+	f.derate[id] = factor
+}
+
+// ZeroLatencyEstimate returns the modelled small-message one-way latency in
+// seconds between two nodes hops apart in the given mode, assuming an idle
+// network. It is the closed-form used by the analytic collective model and
+// validated against the simulated path in tests.
+func (f *Fabric) ZeroLatencyEstimate(hops int, mode machine.Mode, farCore bool) float64 {
+	nic := f.M.NIC
+	lat := (nic.SendOverheadUS + nic.RecvOverheadUS) * usToS
+	lat += float64(hops) * f.M.Link.HopLatencyUS * usToS
+	if mode == machine.VN {
+		lat += 2 * nic.VNProxyUS * usToS
+		if farCore {
+			lat += 2 * nic.VNMediationUS * usToS
+		}
+	}
+	return lat
+}
+
+// LinkUtilization reports per-link busy fractions over [0, horizon];
+// useful for diagnosing bisection-limited workloads such as PTRANS.
+func (f *Fabric) LinkUtilization(horizon sim.Time) []float64 {
+	out := make([]float64, len(f.links))
+	for i := range f.links {
+		out[i] = f.links[i].Utilization(horizon)
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation engine.
+//
+// The engine is the substrate for the whole Cray XT3/XT4 system model: node
+// memory subsystems, NICs, torus links, and MPI ranks are all simulated
+// processes or resources living on one simulated clock.
+//
+// Processes are ordinary Go functions run on goroutines, but the engine
+// guarantees that at most one process executes at any instant: a process runs
+// until it blocks on a simulation primitive (Wait, Mailbox.Recv, resource
+// acquisition), at which point control is handed back to the scheduler. This
+// makes simulations fully deterministic — event ordering is defined by
+// (time, sequence number), never by the Go runtime scheduler — which is
+// essential for reproducible performance experiments.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Time is a simulated timestamp in seconds since the start of the run.
+type Time = float64
+
+// Infinity is a sentinel time later than any event the engine will ever
+// schedule. Resources use it to mark "no pending completion".
+const Infinity Time = math.MaxFloat64
+
+// event is a single scheduled callback. Events with equal timestamps fire in
+// the order they were scheduled (seq breaks ties), which keeps runs
+// reproducible.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a binary min-heap over (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine owns the simulated clock and the pending-event queue. The zero
+// value is not usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	live    int           // processes spawned and not yet finished
+	blocked int           // processes currently blocked on a primitive
+	running bool          // inside Run
+	handoff chan struct{} // signalled by a process when it yields control
+	procSeq int
+	parked  map[*Proc]struct{} // processes currently blocked, for diagnostics
+
+	// Stats, exported for tests and for the experiment harness.
+	EventsExecuted uint64
+	ProcsSpawned   int
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{handoff: make(chan struct{}), parked: make(map[*Proc]struct{})}
+}
+
+// Now reports the current simulated time in seconds.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at the absolute simulated time at. Scheduling in
+// the past panics: it always indicates a modelling bug, and silently
+// reordering events would destroy determinism.
+func (e *Engine) At(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %.9g before now %.9g", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from the current simulated time.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %.9g", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Run executes events in timestamp order until the event queue is empty.
+// It returns the final simulated time.
+//
+// Run panics if, when the queue drains, some spawned processes are still
+// blocked: that is a deadlock in the simulated program (for example an MPI
+// Recv with no matching Send), and reporting it loudly beats returning a
+// silently truncated result.
+func (e *Engine) Run() Time {
+	if e.running {
+		panic("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		e.EventsExecuted++
+		ev.fn()
+	}
+	if e.blocked > 0 {
+		names := make([]string, 0, 8)
+		for p := range e.parked {
+			names = append(names, p.name)
+			if len(names) == 8 {
+				names = append(names, "...")
+				break
+			}
+		}
+		sort.Strings(names)
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) blocked with no pending events (e.g. %v)", e.blocked, names))
+	}
+	return e.now
+}
+
+// Pending reports the number of events currently queued.
+func (e *Engine) Pending() int { return len(e.events) }

@@ -1,0 +1,316 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(2.0, func() { order = append(order, 3) })
+	e.At(1.0, func() { order = append(order, 1) })
+	e.At(1.5, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 2.0 {
+		t.Fatalf("final time = %v, want 2.0", end)
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestEqualTimestampsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(1.0, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5.0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(1.0, func() {})
+	})
+	e.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After delay did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestNestedEventScheduling(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			e.After(0.25, recurse)
+		}
+	}
+	e.After(0.25, recurse)
+	end := e.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if !almostEqual(end, 25.0, 1e-12) {
+		t.Fatalf("end = %v, want 25.0", end)
+	}
+}
+
+func TestProcWaitAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var samples []Time
+	e.Spawn("waiter", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Wait(1.5)
+			samples = append(samples, p.Now())
+		}
+	})
+	e.Run()
+	want := []Time{1.5, 3.0, 4.5, 6.0, 7.5}
+	if len(samples) != len(want) {
+		t.Fatalf("samples = %v", samples)
+	}
+	for i := range want {
+		if !almostEqual(samples[i], want[i], 1e-12) {
+			t.Fatalf("samples[%d] = %v, want %v", i, samples[i], want[i])
+		}
+	}
+}
+
+func TestTwoProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var log []string
+		e.Spawn("a", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Wait(2)
+				log = append(log, "a")
+			}
+		})
+		e.Spawn("b", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Wait(3)
+				log = append(log, "b")
+			}
+		})
+		e.Run()
+		return log
+	}
+	first := run()
+	// a@2, b@3, a@4, then at t=6 b precedes a because b's wake event was
+	// scheduled earlier (at t=3 vs t=4) and ties break by schedule order;
+	// finally b@9.
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	if len(first) != len(want) {
+		t.Fatalf("log = %v", first)
+	}
+	for i := range want {
+		if first[i] != want[i] {
+			t.Fatalf("log = %v, want %v", first, want)
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		got := run()
+		for i := range want {
+			if got[i] != first[i] {
+				t.Fatalf("nondeterministic interleaving: %v vs %v", got, first)
+			}
+		}
+	}
+}
+
+func TestWaitUntil(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("p", func(p *Proc) {
+		p.WaitUntil(4.0)
+		if !almostEqual(p.Now(), 4.0, 1e-12) {
+			t.Errorf("now = %v, want 4", p.Now())
+		}
+		p.WaitUntil(4.0) // waiting until "now" is legal
+	})
+	e.Run()
+}
+
+func TestConditionBroadcast(t *testing.T) {
+	e := NewEngine()
+	var c Condition
+	woken := 0
+	for i := 0; i < 4; i++ {
+		e.Spawn("w", func(p *Proc) {
+			c.Await(p)
+			woken++
+		})
+	}
+	e.Spawn("signaller", func(p *Proc) {
+		p.Wait(1.0)
+		if c.Waiting() != 4 {
+			t.Errorf("waiting = %d, want 4", c.Waiting())
+		}
+		c.Broadcast()
+	})
+	e.Run()
+	if woken != 4 {
+		t.Fatalf("woken = %d, want 4", woken)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine()
+	var c Condition
+	e.Spawn("stuck", func(p *Proc) { c.Await(p) })
+	defer func() {
+		if recover() == nil {
+			t.Error("deadlocked run did not panic")
+		}
+	}()
+	e.Run()
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	e := NewEngine()
+	total := 0
+	e.Spawn("parent", func(p *Proc) {
+		p.Wait(1)
+		for i := 0; i < 3; i++ {
+			e.Spawn("child", func(q *Proc) {
+				q.Wait(1)
+				total++
+			})
+		}
+	})
+	end := e.Run()
+	if total != 3 {
+		t.Fatalf("total = %d, want 3", total)
+	}
+	if !almostEqual(end, 2.0, 1e-12) {
+		t.Fatalf("end = %v, want 2", end)
+	}
+}
+
+func TestMailboxFIFO(t *testing.T) {
+	e := NewEngine()
+	var mb Mailbox
+	var got []int
+	e.Spawn("recv", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			got = append(got, mb.Recv(p).(int))
+		}
+	})
+	e.Spawn("send", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Wait(1)
+			mb.Send(i)
+		}
+	})
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got = %v", got)
+		}
+	}
+}
+
+func TestMailboxBuffersWhenNoReceiver(t *testing.T) {
+	e := NewEngine()
+	var mb Mailbox
+	e.Spawn("send", func(p *Proc) {
+		mb.Send("x")
+		mb.Send("y")
+	})
+	var got []string
+	e.Spawn("recv", func(p *Proc) {
+		p.Wait(10)
+		for mb.Len() > 0 {
+			v, ok := mb.TryRecv()
+			if !ok {
+				t.Error("TryRecv failed with nonzero Len")
+			}
+			got = append(got, v.(string))
+		}
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestMailboxMultipleReceiversServedInOrder(t *testing.T) {
+	e := NewEngine()
+	var mb Mailbox
+	var served []int
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn("r", func(p *Proc) {
+			mb.Recv(p)
+			served = append(served, i)
+		})
+	}
+	e.Spawn("s", func(p *Proc) {
+		p.Wait(1)
+		mb.Send(0)
+		p.Wait(1)
+		mb.Send(1)
+		p.Wait(1)
+		mb.Send(2)
+	})
+	e.Run()
+	for i, v := range served {
+		if v != i {
+			t.Fatalf("receivers served out of order: %v", served)
+		}
+	}
+}
+
+func TestDeadlockPanicNamesProcesses(t *testing.T) {
+	e := NewEngine()
+	var c Condition
+	e.Spawn("stuck-recv", func(p *Proc) { c.Await(p) })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("deadlock did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !containsStr(msg, "stuck-recv") {
+			t.Fatalf("panic message should name the blocked process: %v", r)
+		}
+	}()
+	e.Run()
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

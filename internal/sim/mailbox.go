@@ -1,0 +1,51 @@
+package sim
+
+// Mailbox is an unbounded, FIFO message queue between simulated processes.
+// Send never blocks (and may be called from plain events, not just
+// processes); Recv blocks the receiving process until a message is
+// available. Messages are delivered in send order, and receivers are served
+// in arrival order, so mailbox behaviour is deterministic.
+//
+// Mailboxes are the building block for the simulated MPI matching engine:
+// each rank owns one mailbox per peer/tag class.
+type Mailbox struct {
+	queue   []any
+	waiters []*Proc
+}
+
+// Send deposits v in the mailbox and, if a receiver is parked, wakes the
+// oldest one.
+func (m *Mailbox) Send(v any) {
+	m.queue = append(m.queue, v)
+	if len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[:copy(m.waiters, m.waiters[1:])]
+		w.wake()
+	}
+}
+
+// Recv removes and returns the oldest message, blocking the process until
+// one is available.
+func (m *Mailbox) Recv(p *Proc) any {
+	for len(m.queue) == 0 {
+		m.waiters = append(m.waiters, p)
+		p.yield()
+	}
+	v := m.queue[0]
+	m.queue = m.queue[:copy(m.queue, m.queue[1:])]
+	return v
+}
+
+// TryRecv removes and returns the oldest message without blocking. The
+// second result reports whether a message was available.
+func (m *Mailbox) TryRecv() (any, bool) {
+	if len(m.queue) == 0 {
+		return nil, false
+	}
+	v := m.queue[0]
+	m.queue = m.queue[:copy(m.queue, m.queue[1:])]
+	return v, true
+}
+
+// Len reports the number of queued messages.
+func (m *Mailbox) Len() int { return len(m.queue) }

@@ -1,0 +1,131 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// with all other processes under the engine's control. A Proc may only call
+// its blocking methods (Wait, Recv, resource acquisition) from its own
+// goroutine; calling them from another goroutine corrupts the handoff
+// protocol.
+type Proc struct {
+	eng    *Engine
+	id     int
+	name   string
+	resume chan struct{}
+	done   bool
+}
+
+// Spawn starts fn as a new simulated process at the current simulated time.
+// The name is used only in diagnostics. Spawn may be called before Run (to
+// seed the simulation) or from inside any event or process.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	e.procSeq++
+	p := &Proc{eng: e, id: e.procSeq, name: name, resume: make(chan struct{})}
+	e.live++
+	e.ProcsSpawned++
+	// The process body starts inside an event so that process startup is
+	// ordered with respect to every other event in the simulation.
+	e.After(0, func() {
+		go func() {
+			<-p.resume // wait for the scheduler's explicit go-ahead
+			fn(p)
+			p.done = true
+			e.live--
+			e.handoff <- struct{}{}
+		}()
+		p.run()
+	})
+	return p
+}
+
+// run transfers control to the process and blocks the scheduler until the
+// process yields (by blocking on a primitive) or finishes.
+func (p *Proc) run() {
+	p.resume <- struct{}{}
+	<-p.eng.handoff
+}
+
+// yield parks the calling process. The scheduler resumes it when some event
+// calls wake. Bookkeeping of the engine's blocked count lives here so the
+// deadlock detector in Run stays accurate.
+func (p *Proc) yield() {
+	p.eng.blocked++
+	p.eng.parked[p] = struct{}{}
+	p.eng.handoff <- struct{}{}
+	<-p.resume
+}
+
+// wake schedules the process to resume at the current simulated time. It
+// must only be called while the process is parked in yield.
+func (p *Proc) wake() {
+	p.eng.blocked--
+	delete(p.eng.parked, p)
+	p.eng.After(0, p.run)
+}
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now reports the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Name returns the diagnostic name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the unique process id (1-based, in spawn order).
+func (p *Proc) ID() int { return p.id }
+
+// Wait blocks the process for d simulated seconds. A zero wait still yields
+// to the scheduler, so Wait(0) can be used to let same-time events interleave
+// deterministically.
+func (p *Proc) Wait(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: process %q waiting negative duration %.9g", p.name, d))
+	}
+	at := p.eng.now + d
+	p.eng.blocked++
+	p.eng.parked[p] = struct{}{}
+	p.eng.At(at, func() {
+		p.eng.blocked--
+		delete(p.eng.parked, p)
+		p.run()
+	})
+	p.eng.handoff <- struct{}{}
+	<-p.resume
+}
+
+// WaitUntil blocks the process until the absolute simulated time at, which
+// must not be in the past.
+func (p *Proc) WaitUntil(at Time) {
+	if at < p.eng.now {
+		panic(fmt.Sprintf("sim: process %q waiting until %.9g which is before now %.9g", p.name, at, p.eng.now))
+	}
+	p.Wait(at - p.eng.now)
+}
+
+// Condition is a broadcast wakeup point: processes block on Await until some
+// other process or event calls Broadcast. Unlike sync.Cond there is no
+// associated lock — the engine's single-threaded execution model makes the
+// state transitions atomic already.
+type Condition struct {
+	waiters []*Proc
+}
+
+// Await parks the process until the next Broadcast.
+func (c *Condition) Await(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.yield()
+}
+
+// Broadcast wakes every process currently parked on the condition, in the
+// order they arrived.
+func (c *Condition) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		w.wake()
+	}
+}
+
+// Waiting reports how many processes are parked on the condition.
+func (c *Condition) Waiting() int { return len(c.waiters) }

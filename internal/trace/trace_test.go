@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"xtsim/internal/core"
+	"xtsim/internal/machine"
+	"xtsim/internal/mpi"
+)
+
+func TestRecordAndAggregate(t *testing.T) {
+	var r Recorder
+	r.Record(0, "compute", 0, 1)
+	r.Record(0, "Allreduce", 1, 1.5)
+	r.Record(1, "compute", 0, 2)
+	if r.Len() != 3 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	agg := r.ByName()
+	if agg["compute"] != 3 || agg["Allreduce"] != 0.5 {
+		t.Fatalf("aggregate = %v", agg)
+	}
+}
+
+func TestRecordRejectsInvertedSpan(t *testing.T) {
+	var r Recorder
+	defer func() {
+		if recover() == nil {
+			t.Error("inverted span did not panic")
+		}
+	}()
+	r.Record(0, "x", 2, 1)
+}
+
+func TestCapDropsExcess(t *testing.T) {
+	r := Recorder{Cap: 2}
+	for i := 0; i < 5; i++ {
+		r.Record(0, "s", float64(i), float64(i)+1)
+	}
+	if r.Len() != 2 || r.Dropped != 3 {
+		t.Fatalf("len %d dropped %d", r.Len(), r.Dropped)
+	}
+}
+
+func TestChromeTraceIsValidJSON(t *testing.T) {
+	var r Recorder
+	r.Record(1, "compute", 0.5, 1.0)
+	r.Record(0, "Recv", 0, 0.25)
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	// Sorted by tid then ts: rank 0 first.
+	if events[0]["tid"].(float64) != 0 {
+		t.Fatalf("events not sorted by rank: %v", events)
+	}
+	if events[0]["ph"] != "X" {
+		t.Fatalf("wrong phase: %v", events[0])
+	}
+	// Microsecond conversion.
+	if events[1]["ts"].(float64) != 0.5e6 {
+		t.Fatalf("timestamp not in µs: %v", events[1])
+	}
+}
+
+func TestGanttRendersRows(t *testing.T) {
+	var r Recorder
+	r.Record(0, "compute", 0, 0.5)
+	r.Record(1, "Barrier", 0.5, 1.0)
+	var buf bytes.Buffer
+	if err := r.Gantt(&buf, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "rank    0") || !strings.Contains(out, "rank    1") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "c") || !strings.Contains(out, "B") {
+		t.Fatalf("missing span glyphs:\n%s", out)
+	}
+	if err := r.Gantt(&buf, 0); err == nil {
+		t.Error("zero width accepted")
+	}
+}
+
+func TestGanttEmptyTrace(t *testing.T) {
+	var r Recorder
+	var buf bytes.Buffer
+	if err := r.Gantt(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Fatalf("expected empty marker, got %q", buf.String())
+	}
+}
+
+// Integration: attach the recorder to a live simulation and check both
+// compute and MPI spans appear with simulated timestamps.
+func TestRecorderCapturesSimulation(t *testing.T) {
+	sys := core.NewSystem(machine.XT4(), machine.SN, 4)
+	var rec Recorder
+	sys.Tracer = &rec
+	end := mpi.Run(sys, mpi.Algorithmic, func(p *mpi.P) {
+		p.Compute(core.Work{Flops: 1e8, FlopEff: 0.5})
+		p.Allreduce(mpi.Sum, 8, nil)
+	})
+	agg := rec.ByName()
+	if agg["compute"] <= 0 {
+		t.Fatalf("no compute spans: %v", agg)
+	}
+	if agg["Allreduce"] <= 0 {
+		t.Fatalf("no Allreduce spans: %v", agg)
+	}
+	for _, s := range rec.Spans() {
+		if s.End > end+1e-12 {
+			t.Fatalf("span %v extends past makespan %v", s, end)
+		}
+	}
+	// 4 ranks × (1 compute + 1 allreduce) = 8 spans.
+	if rec.Len() != 8 {
+		t.Fatalf("span count = %d, want 8", rec.Len())
+	}
+}
