@@ -9,14 +9,13 @@
 package xtsim_test
 
 import (
-	"io"
 	"testing"
 
 	"xtsim/internal/expt"
 )
 
 // benchExperiment runs one registered experiment per iteration, discarding
-// its table output (correctness of the numbers is covered by the unit
+// its structured result (correctness of the numbers is covered by the unit
 // tests; the bench measures the cost of regenerating the artifact).
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
@@ -27,7 +26,7 @@ func benchExperiment(b *testing.B, id string) {
 	opts := expt.Options{Short: true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := e.Run(io.Discard, opts); err != nil {
+		if _, err := e.Execute(opts); err != nil {
 			b.Fatal(err)
 		}
 	}

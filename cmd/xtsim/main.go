@@ -4,16 +4,26 @@
 //
 // Usage:
 //
-//	xtsim -list                 list available experiments
-//	xtsim -run fig8             regenerate Figure 8
-//	xtsim -run all              regenerate everything
-//	xtsim -run fig17 -short     quick reduced-scale run
+//	xtsim -list                      list available experiments
+//	xtsim -run fig8                  regenerate Figure 8
+//	xtsim -run all                   regenerate everything
+//	xtsim -run all -jobs 8           campaign on 8 workers (same output)
+//	xtsim -run all -short -json out/ quick run + one JSON artifact per id
+//	xtsim -run fig17 -timeout 5m     bound each experiment's wall time
+//
+// Rendered tables go to stdout in registration (paper) order regardless of
+// -jobs; timing/progress lines and the failure summary go to stderr. With
+// -run all a failing experiment no longer aborts the campaign: the rest
+// still run, failures are summarized at the end, and the exit code is 1.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 	"time"
 
 	"xtsim/internal/expt"
@@ -23,44 +33,77 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	run := flag.String("run", "", "experiment id to run (or 'all')")
 	short := flag.Bool("short", false, "reduced-scale quick run")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "experiments to run concurrently (output order is unaffected)")
+	jsonDir := flag.String("json", "", "write one JSON artifact per experiment into this directory")
+	timeout := flag.Duration("timeout", 0, "per-experiment wall-clock timeout (0 = none)")
 	flag.Parse()
 
+	var exps []expt.Experiment
 	switch {
 	case *list:
 		fmt.Println("Available experiments:")
 		for _, e := range expt.All() {
-			fmt.Printf("  %-14s %s: %s\n", e.ID, e.Artifact, e.Title)
+			fmt.Printf("  %-18s %s: %s\n", e.ID, e.Artifact, e.Title)
 		}
+		return
 	case *run == "all":
-		opts := expt.Options{Short: *short}
-		for _, e := range expt.All() {
-			if err := runOne(e, opts); err != nil {
-				fmt.Fprintf(os.Stderr, "xtsim: %s: %v\n", e.ID, err)
-				os.Exit(1)
-			}
-		}
+		exps = expt.All()
 	case *run != "":
 		e, err := expt.ByID(*run)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "xtsim:", err)
 			os.Exit(1)
 		}
-		if err := runOne(e, expt.Options{Short: *short}); err != nil {
-			fmt.Fprintf(os.Stderr, "xtsim: %s: %v\n", e.ID, err)
-			os.Exit(1)
-		}
+		exps = []expt.Experiment{e}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	opts := expt.Options{Short: *short}
+	runner := &expt.Runner{
+		Jobs:     *jobs,
+		Opts:     opts,
+		Timeout:  *timeout,
+		Output:   os.Stdout,
+		Progress: os.Stderr,
+	}
+	statuses := runner.Run(exps)
+
+	if *jsonDir != "" {
+		if err := writeArtifacts(*jsonDir, statuses, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "xtsim:", err)
+			os.Exit(1)
+		}
+	}
+
+	if failed := expt.Failed(statuses); len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "xtsim: %d of %d experiments failed:\n", len(failed), len(statuses))
+		for _, s := range failed {
+			fmt.Fprintf(os.Stderr, "  %-18s %v\n", s.Experiment.ID, s.Err)
+		}
+		os.Exit(1)
+	}
 }
 
-func runOne(e expt.Experiment, opts expt.Options) error {
-	fmt.Printf("== %s: %s ==\n", e.Artifact, e.Title)
-	start := time.Now()
-	if err := e.Run(os.Stdout, opts); err != nil {
+// writeArtifacts stores one machine-readable result file per experiment as
+// <dir>/<id>.json (see EXPERIMENTS.md for the schema).
+func writeArtifacts(dir string, statuses []expt.Status, opts expt.Options) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	fmt.Printf("-- %s done in %v --\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	start := time.Now()
+	for _, s := range statuses {
+		buf, err := json.MarshalIndent(s.Artifact(opts), "", "  ")
+		if err != nil {
+			return fmt.Errorf("marshal %s: %w", s.Experiment.ID, err)
+		}
+		path := filepath.Join(dir, s.Experiment.ID+".json")
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "xtsim: wrote %d artifacts to %s in %v\n",
+		len(statuses), dir, time.Since(start).Round(time.Millisecond))
 	return nil
 }

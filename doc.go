@@ -6,10 +6,43 @@
 // This root package is the public API: machine presets (XT3, XT4,
 // CombinedXT3XT4, the §6 comparison platforms), system construction
 // (NewSystem), the simulated MPI runtime (RunMPI and the P communicator
-// view), activity tracing (Recorder), and the experiment registry
+// view), activity tracing (Recorder), the experiment registry
 // (Experiments, RunExperiment) that regenerates each of the paper's
-// tables and figures. The implementation lives in internal/ packages —
-// see README.md for the architecture map.
+// tables and figures, and the concurrent campaign runner
+// (ExperimentRunner) behind `xtsim -run all -jobs N`. The implementation
+// lives in internal/ packages.
+//
+// # Architecture
+//
+// The layers build on each other, simulator core to paper artifacts:
+//
+//	sim ──► core ──► mpi ──► hpcc ─┐
+//	 │        │        │           ├──► expt ──► cmd/xtsim
+//	 │        │        └──► apps ──┘
+//	 │        └◄── machine, torus, network
+//	 └──► lustre, trace
+//
+//   - internal/sim is the deterministic discrete-event engine: processes
+//     as goroutines with explicit handoff, FIFO reservations,
+//     processor-sharing resources.
+//   - internal/machine, internal/torus and internal/network describe the
+//     hardware: Table-1 machine configurations, the SeaStar 3-D torus,
+//     and the transport model (injection bandwidth, link occupancy,
+//     eager/rendezvous, VN-mode NIC sharing).
+//   - internal/core places MPI tasks on a machine (SN/VN modes, shared
+//     per-socket memory, roofline compute) on top of sim.
+//   - internal/mpi is the simulated MPI runtime over core: point-to-point,
+//     nonblocking, collectives as real algorithms with validated analytic
+//     forms for 10k+ ranks.
+//   - internal/hpcc runs the HPCC suite on the simulator (Figures 2-13)
+//     using the real host-executable kernels in internal/kernels;
+//     internal/apps holds the application proxies (CAM, POP, NAMD, S3D,
+//     AORSA — Figures 14-23). internal/lustre models the filesystem.
+//   - internal/expt is the campaign layer: one registered Experiment per
+//     table/figure/ablation, each producing a structured Result, plus the
+//     concurrent Runner with deterministic ordered output and JSON
+//     artifact export.
+//   - cmd/xtsim is the campaign CLI (-run, -jobs, -json, -timeout).
 //
 // The common path is three calls:
 //
@@ -31,5 +64,5 @@
 //     artifact.
 //
 // See README.md for a tour and EXPERIMENTS.md for paper-vs-simulated
-// results.
+// results and the JSON artifact schema.
 package xtsim

@@ -2,7 +2,6 @@ package expt
 
 import (
 	"fmt"
-	"io"
 	"math/rand"
 
 	"xtsim/internal/core"
@@ -39,9 +38,9 @@ func init() {
 	})
 }
 
-func runAblationVN(w io.Writer, o Options) error {
-	t := newTable(w)
-	t.row("VN mediation (µs)", "MPI-RA GUPS (VN, 128 cores)", "PPmin latency VN (µs)")
+func runAblationVN(res *Result, o Options) error {
+	t := res.Table()
+	t.Row("VN mediation (µs)", "MPI-RA GUPS (VN, 128 cores)", "PPmin latency VN (µs)")
 	cores := 128
 	if o.Short {
 		cores = 32
@@ -51,16 +50,15 @@ func runAblationVN(w io.Writer, o Options) error {
 		m.NIC.VNMediationUS = med
 		ra := hpcc.MPIRA(m, machine.VN, cores)
 		lat := hpcc.NetworkLatency(m, machine.VN, 16)
-		t.row(fmt.Sprintf("%.1f", med), f4(ra.Value), f2(lat.PPMin))
+		t.Row(fmt.Sprintf("%.1f", med), f4(ra.Value), f2(lat.PPMin))
 	}
-	t.flush()
-	fmt.Fprintln(w, "(Figure 11's VN collapse requires a nonzero mediation cost; the paper expects software maturation to shrink it.)")
+	res.Textln("(Figure 11's VN collapse requires a nonzero mediation cost; the paper expects software maturation to shrink it.)")
 	return nil
 }
 
-func runAblationColl(w io.Writer, o Options) error {
-	t := newTable(w)
-	t.row("ranks", "algorithmic (µs)", "analytic (µs)", "ratio")
+func runAblationColl(res *Result, o Options) error {
+	t := res.Table()
+	t.Row("ranks", "algorithmic (µs)", "analytic (µs)", "ratio")
 	sizes := []int{8, 32, 64, 128}
 	if o.Short {
 		sizes = []int{8, 32}
@@ -73,18 +71,18 @@ func runAblationColl(w io.Writer, o Options) error {
 					p.Allreduce(mpi.Sum, 8, nil)
 				}
 			})
+			res.AddSimSeconds(elapsed)
 			return elapsed / 10 * 1e6
 		}
 		alg := run(mpi.Algorithmic)
 		ana := run(mpi.Analytic)
-		t.row(itoa(n), f2(alg), f2(ana), f2(alg/ana))
+		t.Row(itoa(n), f2(alg), f2(ana), f2(alg/ana))
 	}
-	t.flush()
-	fmt.Fprintln(w, "(The closed form used beyond 384 ranks tracks the simulated algorithm within a small factor.)")
+	res.Textln("(The closed form used beyond 384 ranks tracks the simulated algorithm within a small factor.)")
 	return nil
 }
 
-func runAblationMem(w io.Writer, _ Options) error {
+func runAblationMem(res *Result, _ Options) error {
 	// Compare the dynamic processor-sharing model against a static
 	// half-share approximation for asymmetric demands: core 0 streams 2x
 	// the bytes of core 1. Under PS, once the small job finishes the big
@@ -106,20 +104,20 @@ func runAblationMem(w io.Writer, _ Options) error {
 		finish[r.ID] = r.Now()
 	})
 
+	res.AddSimSeconds(finish[0])
 	staticBig := big / (bw / 2)
 	staticSmall := small / (bw / 2)
-	t := newTable(w)
-	t.row("model", "big-job finish (s)", "small-job finish (s)")
-	t.row("processor sharing (simulated)", f3(finish[0]), f3(finish[1]))
-	t.row("static half-split (closed form)", f3(staticBig), f3(staticSmall))
-	t.flush()
-	fmt.Fprintln(w, "(PS is work-conserving: the asymmetric pair finishes in 3s total instead of the static model's 4s tail.)")
+	t := res.Table()
+	t.Row("model", "big-job finish (s)", "small-job finish (s)")
+	t.Row("processor sharing (simulated)", f3(finish[0]), f3(finish[1]))
+	t.Row("static half-split (closed form)", f3(staticBig), f3(staticSmall))
+	res.Textln("(PS is work-conserving: the asymmetric pair finishes in 3s total instead of the static model's 4s tail.)")
 	return nil
 }
 
-func runAblationDDR2(w io.Writer, _ Options) error {
-	t := newTable(w)
-	t.row("machine", "FFT SP GF", "STREAM SP GB/s", "DGEMM SP GF")
+func runAblationDDR2(res *Result, _ Options) error {
+	t := res.Table()
+	t.Row("machine", "FFT SP GF", "STREAM SP GB/s", "DGEMM SP GF")
 	xt3 := machine.XT3DualCore()
 	counterfactual := machine.XT4()
 	counterfactual.Name = "XT4/DDR-400"
@@ -128,10 +126,9 @@ func runAblationDDR2(w io.Writer, _ Options) error {
 		fft := hpcc.FFTNode(m, 1<<20)
 		str := hpcc.StreamNode(m, 1<<24)
 		dg := hpcc.DGEMMNode(m, 2000)
-		t.row(m.Name, f3(fft.SP), f2(str.SP), f2(dg.SP))
+		t.Row(m.Name, f3(fft.SP), f2(str.SP), f2(dg.SP))
 	}
-	t.flush()
-	fmt.Fprintln(w, "(Most of the XT4's FFT gain disappears without DDR2 — the memory, not the clock, drives Figure 4, as §5.1.2 argues.)")
+	res.Textln("(Most of the XT4's FFT gain disappears without DDR2 — the memory, not the clock, drives Figure 4, as §5.1.2 argues.)")
 	return nil
 }
 
@@ -149,14 +146,14 @@ func init() {
 // bulk-synchronous workload (compute + Allreduce per step, POP-barotropic
 // shaped) shows how a full-OS jitter profile would amplify collective
 // costs at scale: each Allreduce waits for the slowest of n draws.
-func runAblationJitter(w io.Writer, o Options) error {
+func runAblationJitter(res *Result, o Options) error {
 	tasks := 256
 	steps := 30
 	if o.Short {
 		tasks, steps = 64, 10
 	}
-	t := newTable(w)
-	t.row("noise amplitude", "makespan (ms)", "slowdown")
+	t := res.Table()
+	t.Row("noise amplitude", "makespan (ms)", "slowdown")
 	var base float64
 	for _, amp := range []float64{0, 0.01, 0.05, 0.1, 0.2} {
 		sys := coreSystemForAblation(machine.XT4(), machine.VN, tasks)
@@ -167,13 +164,13 @@ func runAblationJitter(w io.Writer, o Options) error {
 				p.Allreduce(mpi.Sum, 16, nil)
 			}
 		})
+		res.AddSimSeconds(elapsed)
 		if amp == 0 {
 			base = elapsed
 		}
-		t.row(fmt.Sprintf("%.2f", amp), f2(elapsed*1e3), f2(elapsed/base))
+		t.Row(fmt.Sprintf("%.2f", amp), f2(elapsed*1e3), f2(elapsed/base))
 	}
-	t.flush()
-	fmt.Fprintln(w, "(Catamount's near-zero jitter keeps bulk-synchronous codes at the top row; a noisy full OS pays the max-of-n tax every collective.)")
+	res.Textln("(Catamount's near-zero jitter keeps bulk-synchronous codes at the top row; a noisy full OS pays the max-of-n tax every collective.)")
 	return nil
 }
 
@@ -189,7 +186,7 @@ func init() {
 // "due to job layout topology": the same 3-D halo-exchange pattern runs
 // with the default in-order placement and with a seeded random placement;
 // scattered neighbours ride longer, more contended routes.
-func runAblationPlacement(w io.Writer, o Options) error {
+func runAblationPlacement(res *Result, o Options) error {
 	tasks := 512
 	if o.Short {
 		tasks = 64
@@ -225,13 +222,13 @@ func runAblationPlacement(w io.Writer, o Options) error {
 	aligned := runOnce(nil)
 	rng := rand.New(rand.NewSource(7))
 	random := runOnce(rng.Perm(tasks))
+	res.AddSimSeconds(aligned + random)
 
-	t := newTable(w)
-	t.row("placement", "halo exchange (ms)", "vs aligned")
-	t.row("in-order (ALPS default)", f2(aligned*1e3), "1.00")
-	t.row("random scatter", f2(random*1e3), f2(random/aligned))
-	t.flush()
-	fmt.Fprintln(w, "(Scattered placement lengthens routes and concentrates link load — the layout variance the paper observes in PTRANS.)")
+	t := res.Table()
+	t.Row("placement", "halo exchange (ms)", "vs aligned")
+	t.Row("in-order (ALPS default)", f2(aligned*1e3), "1.00")
+	t.Row("random scatter", f2(random*1e3), f2(random/aligned))
+	res.Textln("(Scattered placement lengthens routes and concentrates link load — the layout variance the paper observes in PTRANS.)")
 	return nil
 }
 
@@ -248,14 +245,14 @@ func init() {
 // modelled SeaStar — and shows why POP's 8–16-byte reductions always sit
 // on the recursive-doubling (latency) side, which is exactly why C-G's
 // halved call count is the lever that matters (§6.2).
-func runAblationRing(w io.Writer, o Options) error {
+func runAblationRing(res *Result, o Options) error {
 	ranks := 16
 	sizes := []int64{8, 1 << 10, 32 << 10, 256 << 10, 1 << 20, 8 << 20}
 	if o.Short {
 		sizes = []int64{8, 1 << 20}
 	}
-	t := newTable(w)
-	t.row("bytes", "recursive doubling (µs)", "ring (µs)", "winner")
+	t := res.Table()
+	t.Row("bytes", "recursive doubling (µs)", "ring (µs)", "winner")
 	for _, size := range sizes {
 		run := func(ring bool) float64 {
 			sys := coreSystemForAblation(machine.XT4(), machine.SN, ranks)
@@ -269,13 +266,13 @@ func runAblationRing(w io.Writer, o Options) error {
 		}
 		rd := run(false)
 		ring := run(true)
+		res.AddSimSeconds((rd + ring) / 1e6)
 		winner := "doubling"
 		if ring < rd {
 			winner = "ring"
 		}
-		t.row(fmt.Sprintf("%d", size), f2(rd), f2(ring), winner)
+		t.Row(fmt.Sprintf("%d", size), f2(rd), f2(ring), winner)
 	}
-	t.flush()
-	fmt.Fprintln(w, "(POP's barotropic Allreduces are 8-16 bytes: permanently latency-bound, hence the C-G call-count lever.)")
+	res.Textln("(POP's barotropic Allreduces are 8-16 bytes: permanently latency-bound, hence the C-G call-count lever.)")
 	return nil
 }

@@ -1,8 +1,6 @@
 package expt
 
 import (
-	"fmt"
-	"io"
 
 	"xtsim/internal/apps/aorsa"
 	"xtsim/internal/apps/cam"
@@ -72,10 +70,10 @@ func camTaskSweep(o Options) []int {
 	return []int{30, 60, 120, 240, 480, 960}
 }
 
-func runFig14(w io.Writer, o Options) error {
+func runFig14(res *Result, o Options) error {
 	b := cam.DGrid()
-	t := newTable(w)
-	t.row("tasks", "XT3 SN", "XT3-DC SN", "XT3-DC VN", "XT4 SN", "XT4 VN", "[sim years/day]")
+	t := res.Table()
+	t.Row("tasks", "XT3 SN", "XT3-DC SN", "XT3-DC VN", "XT4 SN", "XT4 VN", "[sim years/day]")
 	for _, tasks := range camTaskSweep(o) {
 		cfg, err := cam.Decompose(tasks, b)
 		if err != nil {
@@ -96,13 +94,12 @@ func runFig14(w io.Writer, o Options) error {
 			cells = append(cells, f2(r.SimYearsPerDay))
 		}
 		cells = append(cells, "")
-		t.row(cells...)
+		t.Row(cells...)
 	}
-	t.flush()
 	return nil
 }
 
-func runFig15(w io.Writer, o Options) error {
+func runFig15(res *Result, o Options) error {
 	b := cam.DGrid()
 	procs := []int{64, 128, 256, 512, 960}
 	if o.Short {
@@ -120,7 +117,7 @@ func runFig15(w io.Writer, o Options) error {
 		{machine.P575(), machine.VN},
 		{machine.SP(), machine.VN},
 	}
-	t := newTable(w)
+	t := res.Table()
 	hdr := []string{"procs"}
 	for _, mc := range machines {
 		name := mc.m.Name
@@ -130,7 +127,7 @@ func runFig15(w io.Writer, o Options) error {
 		hdr = append(hdr, name)
 	}
 	hdr = append(hdr, "[sim years/day]")
-	t.row(hdr...)
+	t.Row(hdr...)
 	for _, pcount := range procs {
 		cells := []string{itoa(pcount)}
 		for _, mc := range machines {
@@ -147,16 +144,15 @@ func runFig15(w io.Writer, o Options) error {
 			cells = append(cells, f2(r.SimYearsPerDay))
 		}
 		cells = append(cells, "")
-		t.row(cells...)
+		t.Row(cells...)
 	}
-	t.flush()
 	return nil
 }
 
-func runFig16(w io.Writer, o Options) error {
+func runFig16(res *Result, o Options) error {
 	b := cam.DGrid()
-	t := newTable(w)
-	t.row("tasks", "XT4-SN dyn", "XT4-SN phys", "XT4-VN dyn", "XT4-VN phys", "p575 dyn", "p575 phys", "[s/day]")
+	t := res.Table()
+	t.Row("tasks", "XT4-SN dyn", "XT4-SN phys", "XT4-VN dyn", "XT4-VN phys", "p575 dyn", "p575 phys", "[s/day]")
 	for _, tasks := range camTaskSweep(o) {
 		cfg, err := cam.Decompose(tasks, b)
 		if err != nil {
@@ -173,9 +169,8 @@ func runFig16(w io.Writer, o Options) error {
 			cells = append(cells, "-", "-")
 		}
 		cells = append(cells, "")
-		t.row(cells...)
+		t.Row(cells...)
 	}
-	t.flush()
 	return nil
 }
 
@@ -186,10 +181,10 @@ func popTaskSweep(o Options) []int {
 	return []int{500, 1000, 2500, 5000, 10000}
 }
 
-func runFig17(w io.Writer, o Options) error {
+func runFig17(res *Result, o Options) error {
 	b := pop.TenthDegree()
-	t := newTable(w)
-	t.row("tasks", "XT3 SN", "XT3-DC VN", "XT4 SN", "XT4 VN", "[sim years/day]")
+	t := res.Table()
+	t.Row("tasks", "XT3 SN", "XT3-DC VN", "XT4 SN", "XT4 VN", "[sim years/day]")
 	for _, tasks := range popTaskSweep(o) {
 		cells := []string{itoa(tasks)}
 		for _, mc := range []struct {
@@ -213,13 +208,12 @@ func runFig17(w io.Writer, o Options) error {
 			cells = append(cells, f2(r.SimYearsPerDay))
 		}
 		cells = append(cells, "")
-		t.row(cells...)
+		t.Row(cells...)
 	}
-	t.flush()
 	return nil
 }
 
-func runFig18(w io.Writer, o Options) error {
+func runFig18(res *Result, o Options) error {
 	b := pop.TenthDegree()
 	bCG := b
 	bCG.ChronopoulosGear = true
@@ -227,8 +221,8 @@ func runFig18(w io.Writer, o Options) error {
 	if o.Short {
 		tasks = []int{512, 2048}
 	}
-	t := newTable(w)
-	t.row("tasks", "XT4 VN", "XT4 VN C-G", "p575", "X1E", "[sim years/day]")
+	t := res.Table()
+	t.Row("tasks", "XT4 VN", "XT4 VN C-G", "p575", "X1E", "[sim years/day]")
 	for _, n := range tasks {
 		cells := []string{itoa(n)}
 		// Beyond the XT4's core count the paper used a mix of XT3 and XT4
@@ -250,18 +244,17 @@ func runFig18(w io.Writer, o Options) error {
 			cells = append(cells, "-")
 		}
 		cells = append(cells, "")
-		t.row(cells...)
+		t.Row(cells...)
 	}
-	t.flush()
 	return nil
 }
 
-func runFig19(w io.Writer, o Options) error {
+func runFig19(res *Result, o Options) error {
 	b := pop.TenthDegree()
 	bCG := b
 	bCG.ChronopoulosGear = true
-	t := newTable(w)
-	t.row("tasks", "SN baroclinic", "SN barotropic", "VN baroclinic", "VN barotropic", "VN C-G barotropic", "[s/day]")
+	t := res.Table()
+	t.Row("tasks", "SN baroclinic", "SN barotropic", "VN baroclinic", "VN barotropic", "VN C-G barotropic", "[s/day]")
 	for _, n := range popTaskSweep(o) {
 		cells := []string{itoa(n)}
 		if n <= machine.XT4().TotalNodes {
@@ -273,9 +266,8 @@ func runFig19(w io.Writer, o Options) error {
 		vn := pop.Run(machine.XT4(), machine.VN, n, b)
 		cg := pop.Run(machine.XT4(), machine.VN, n, bCG)
 		cells = append(cells, f2(vn.BaroclinicSecPerDay), f2(vn.BarotropicSecPerDay), f2(cg.BarotropicSecPerDay), "")
-		t.row(cells...)
+		t.Row(cells...)
 	}
-	t.flush()
 	return nil
 }
 
@@ -286,9 +278,9 @@ func namdTaskSweep(o Options) []int {
 	return []int{64, 128, 256, 512, 1024, 2048, 4096, 8192, 12000}
 }
 
-func runFig20(w io.Writer, o Options) error {
-	t := newTable(w)
-	t.row("tasks", "XT3(1M)", "XT4(1M)", "XT3(3M)", "XT4(3M)", "[s/step]")
+func runFig20(res *Result, o Options) error {
+	t := res.Table()
+	t.Row("tasks", "XT3(1M)", "XT4(1M)", "XT3(3M)", "XT4(3M)", "[s/step]")
 	for _, n := range namdTaskSweep(o) {
 		xt3 := "-"
 		xt3b := "-"
@@ -296,20 +288,19 @@ func runFig20(w io.Writer, o Options) error {
 			xt3 = f4(namd.Run(machine.XT3DualCore(), machine.VN, n, namd.OneMillion()).SecondsPerStep)
 			xt3b = f4(namd.Run(machine.XT3DualCore(), machine.VN, n, namd.ThreeMillion()).SecondsPerStep)
 		}
-		t.row(itoa(n),
+		t.Row(itoa(n),
 			xt3,
 			f4(namd.Run(machine.XT4(), machine.VN, n, namd.OneMillion()).SecondsPerStep),
 			xt3b,
 			f4(namd.Run(machine.XT4(), machine.VN, n, namd.ThreeMillion()).SecondsPerStep),
 			"")
 	}
-	t.flush()
 	return nil
 }
 
-func runFig21(w io.Writer, o Options) error {
-	t := newTable(w)
-	t.row("tasks", "1M(SN)", "1M(VN)", "3M(SN)", "3M(VN)", "[s/step]")
+func runFig21(res *Result, o Options) error {
+	t := res.Table()
+	t.Row("tasks", "1M(SN)", "1M(VN)", "3M(SN)", "3M(VN)", "[s/step]")
 	for _, n := range namdTaskSweep(o) {
 		cells := []string{itoa(n)}
 		if n <= machine.XT4().TotalNodes {
@@ -324,37 +315,35 @@ func runFig21(w io.Writer, o Options) error {
 			cells = append(cells, "-")
 		}
 		cells = append(cells, f4(namd.Run(machine.XT4(), machine.VN, n, namd.ThreeMillion()).SecondsPerStep), "")
-		t.row(cells...)
+		t.Row(cells...)
 	}
-	t.flush()
 	return nil
 }
 
-func runFig22(w io.Writer, o Options) error {
+func runFig22(res *Result, o Options) error {
 	b := s3d.Weak50()
 	scales := []int{1, 8, 64, 512, 1728, 4096, 10648}
 	if o.Short {
 		scales = []int{1, 64}
 	}
-	t := newTable(w)
-	t.row("cores", "XT3", "XT4", "[µs per grid point per step]")
+	t := res.Table()
+	t.Row("cores", "XT3", "XT4", "[µs per grid point per step]")
 	for _, n := range scales {
 		xt3 := "-"
 		if n <= machine.XT3DualCore().MaxCores() {
 			xt3 = f2(s3d.Run(machine.XT3DualCore(), machine.VN, n, b).CostPerPointUS)
 		}
-		t.row(itoa(n), xt3,
+		t.Row(itoa(n), xt3,
 			f2(s3d.Run(machine.XT4(), machine.VN, n, b).CostPerPointUS),
 			"")
 	}
-	t.flush()
 	return nil
 }
 
-func runFig23(w io.Writer, o Options) error {
+func runFig23(res *Result, o Options) error {
 	prob := aorsa.Standard350()
-	t := newTable(w)
-	t.row("config", "Ax=b", "Calc QL operator", "Total", "solver TFLOPS", "[minutes]")
+	t := res.Table()
+	t.Row("config", "Ax=b", "Calc QL operator", "Total", "solver TFLOPS", "[minutes]")
 	type cfg struct {
 		label string
 		m     machine.Machine
@@ -373,12 +362,11 @@ func runFig23(w io.Writer, o Options) error {
 	}
 	for _, c := range cfgs {
 		r := aorsa.Run(c.m, machine.VN, c.cores, prob)
-		t.row(c.label, f2(r.SolveMinutes), f2(r.QLMinutes), f2(r.TotalMinutes), f2(r.SolveTFLOPS), "")
+		t.Row(c.label, f2(r.SolveMinutes), f2(r.QLMinutes), f2(r.TotalMinutes), f2(r.SolveTFLOPS), "")
 	}
-	t.flush()
 	if !o.Short {
 		large := aorsa.Run(machine.CombinedXT3XT4(), machine.VN, 16384, aorsa.Large500())
-		fmt.Fprintf(w, "500x500 grid on 16k cores: %.1f TFLOPS (%.1f%% of peak)\n",
+		res.Textf("500x500 grid on 16k cores: %.1f TFLOPS (%.1f%% of peak)\n",
 			large.SolveTFLOPS, large.PeakFraction*100)
 	}
 	return nil

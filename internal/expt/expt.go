@@ -1,22 +1,71 @@
-// Package expt is the experiment registry: every table and figure of the
-// paper (and each ablation from DESIGN.md) is an Experiment that runs the
-// simulator and prints the corresponding rows or series. The registry is
-// shared by cmd/xtsim, the top-level benchmark suite, and EXPERIMENTS.md.
+// Package expt is the experiment-campaign layer: every table and figure of
+// the paper (and each ablation from DESIGN.md) is an Experiment that runs
+// the simulator and produces a structured Result. The registry is shared by
+// cmd/xtsim, the top-level benchmark suite, and EXPERIMENTS.md.
+//
+// # Campaign model
+//
+// An Experiment is a pure function from Options to a Result: a sequence of
+// table and text blocks (see Result) plus optional simulated-time metrics.
+// Experiments never write to stdout themselves; rendering is a separate,
+// deterministic step (Result.Render), which is what lets a campaign run
+// concurrently without scrambling its output. A campaign is a slice of
+// experiments handed to a Runner, which executes them on a bounded worker
+// pool (-jobs N in cmd/xtsim), recovers per-experiment panics, enforces an
+// optional per-experiment timeout, and streams rendered results in
+// registration order regardless of completion order.
+//
+// # Determinism guarantee
+//
+// The simulator underneath is deterministic, every experiment that needs
+// randomness seeds its own rand.Source, and experiments share no mutable
+// state — so a Result depends only on (Experiment, Options). The Runner
+// preserves that property end to end: the rendered campaign output is
+// byte-for-byte identical for any worker count (verified by
+// TestCampaignOutputIdenticalAcrossJobs). Wall-clock metrics are the one
+// nondeterministic output; they are confined to Status, the Progress
+// stream, and the wall_seconds artifact field, never the rendered tables.
+//
+// # Registering a new experiment
+//
+// Add an init-time registration next to its peers (micro.go for HPCC-style
+// figures, apps.go for application proxies, ablations.go / extensions.go
+// for model studies):
+//
+//	func init() {
+//		register(Experiment{
+//			ID: "fig42", Artifact: "Figure 42", Title: "What it shows",
+//			Run: runFig42,
+//		})
+//	}
+//
+//	func runFig42(res *Result, o Options) error {
+//		t := res.Table()
+//		t.Row("tasks", "XT4", "[metric]")
+//		...
+//		return nil
+//	}
+//
+// The Run function appends blocks to res (Result.Table, Result.Textf) and
+// must honour Options.Short by shrinking sweeps, not shapes. All sorts the
+// registry into paper order (table1, fig1..figN, imb, ablations,
+// extensions), which defines campaign output order.
 package expt
 
 import (
 	"fmt"
-	"io"
 	"sort"
-	"text/tabwriter"
+	"strconv"
+	"strings"
 )
 
-// Options tunes experiment scale.
+// Options tunes experiment scale. It is embedded verbatim in every JSON
+// artifact, so a result file records the scale it was produced at.
 type Options struct {
 	// Short reduces task counts and sweep sizes for quick runs (used by
 	// `go test -short` and `xtsim -short`). The shapes remain, the
 	// extreme-scale points are dropped.
-	Short bool
+	Short bool `json:"short"`
 }
 
 // Experiment regenerates one artifact of the paper.
@@ -27,8 +76,17 @@ type Experiment struct {
 	Artifact string
 	// Title is the artifact's caption.
 	Title string
-	// Run executes the experiment and writes its table to w.
-	Run func(w io.Writer, opts Options) error
+	// Run executes the experiment, appending its tables and notes to res.
+	Run func(res *Result, opts Options) error
+}
+
+// Execute runs the experiment and returns its structured result. On error
+// the partially-built result is returned alongside the error (its blocks
+// are whatever the experiment produced before failing).
+func (e Experiment) Execute(opts Options) (*Result, error) {
+	res := &Result{ID: e.ID, Artifact: e.Artifact, Title: e.Title}
+	err := e.Run(res, opts)
+	return res, err
 }
 
 var registry []Experiment
@@ -37,11 +95,36 @@ func register(e Experiment) {
 	registry = append(registry, e)
 }
 
-// All returns every registered experiment in registration (paper) order.
+// All returns every registered experiment in paper order: Table 1, then
+// Figures 1-23, then the IMB supplement, the ablations, and the
+// extensions (the latter groups in registration order). This is campaign
+// order: `xtsim -run all` renders artifacts in this sequence.
 func All() []Experiment {
 	out := make([]Experiment, len(registry))
 	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool {
+		return artifactRank(out[i].ID) < artifactRank(out[j].ID)
+	})
 	return out
+}
+
+// artifactRank orders experiment ids by the paper's artifact sequence.
+func artifactRank(id string) int {
+	switch {
+	case id == "table1":
+		return 0
+	case strings.HasPrefix(id, "fig"):
+		if n, err := strconv.Atoi(id[len("fig"):]); err == nil {
+			return n
+		}
+		return 99
+	case id == "imb":
+		return 100
+	case strings.HasPrefix(id, "ablation-"):
+		return 200
+	default: // extensions and future supplements
+		return 300
+	}
 }
 
 // ByID finds an experiment.
@@ -59,32 +142,15 @@ func ByID(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("expt: unknown experiment %q (have %v)", id, ids)
 }
 
-// table is a small helper for aligned output.
-type table struct {
-	tw *tabwriter.Writer
-}
-
-func newTable(w io.Writer) *table {
-	return &table{tw: tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)}
-}
-
-func (t *table) row(cells ...string) {
-	for i, c := range cells {
-		if i > 0 {
-			fmt.Fprint(t.tw, "\t")
-		}
-		fmt.Fprint(t.tw, c)
-	}
-	fmt.Fprintln(t.tw)
-}
-
-func (t *table) flush() { t.tw.Flush() }
-
 func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
 func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
 func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
 
-// header prints the experiment banner.
-func header(w io.Writer, e Experiment) {
-	fmt.Fprintf(w, "== %s: %s ==\n", e.Artifact, e.Title)
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+// Header is the banner line above an experiment's rendered blocks; the
+// Runner emits it so single-experiment render paths (the xtsim facade)
+// stay banner-free, as before.
+func (e Experiment) Header() string {
+	return fmt.Sprintf("== %s: %s ==\n", e.Artifact, e.Title)
 }

@@ -32,9 +32,26 @@ func TestByID(t *testing.T) {
 	}
 }
 
+func TestByIDErrorText(t *testing.T) {
+	_, err := ByID("fig99")
+	if err == nil {
+		t.Fatal("want error for unknown id")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `unknown experiment "fig99"`) {
+		t.Errorf("error should name the unknown id: %q", msg)
+	}
+	// The error lists the valid ids so a typo is self-diagnosing.
+	for _, id := range []string{"table1", "fig8", "ablation-vn"} {
+		if !strings.Contains(msg, id) {
+			t.Errorf("error should list valid id %q: %q", id, msg)
+		}
+	}
+}
+
 // TestEveryExperimentRunsShort is the whole-system integration test: every
 // registered experiment (every table, figure and ablation) must execute at
-// reduced scale and emit a non-empty table.
+// reduced scale and render a non-empty table.
 func TestEveryExperimentRunsShort(t *testing.T) {
 	if testing.Short() {
 		// Even reduced scale is minutes on a 1-CPU box; this is the
@@ -44,9 +61,16 @@ func TestEveryExperimentRunsShort(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			var buf bytes.Buffer
-			if err := e.Run(&buf, Options{Short: true}); err != nil {
+			res, err := e.Execute(Options{Short: true})
+			if err != nil {
 				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if len(res.Blocks) == 0 {
+				t.Fatalf("%s produced no blocks", e.ID)
+			}
+			var buf bytes.Buffer
+			if err := res.Render(&buf); err != nil {
+				t.Fatalf("%s render: %v", e.ID, err)
 			}
 			if buf.Len() == 0 {
 				t.Fatalf("%s produced no output", e.ID)
@@ -61,8 +85,12 @@ func TestEveryExperimentRunsShort(t *testing.T) {
 
 func TestTable1Content(t *testing.T) {
 	e, _ := ByID("table1")
+	res, err := e.Execute(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
-	if err := e.Run(&buf, Options{}); err != nil {
+	if err := res.Render(&buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -73,14 +101,34 @@ func TestTable1Content(t *testing.T) {
 	}
 }
 
-func TestTableFormatter(t *testing.T) {
+func TestResultTableRender(t *testing.T) {
+	var res Result
+	tab := res.Table()
+	tab.Row("a", "b")
+	tab.Row("long-cell", "x")
 	var buf bytes.Buffer
-	tab := newTable(&buf)
-	tab.row("a", "b")
-	tab.row("long-cell", "x")
-	tab.flush()
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
 	out := buf.String()
 	if !strings.Contains(out, "long-cell") || strings.Count(out, "\n") != 2 {
 		t.Fatalf("formatter output:\n%q", out)
+	}
+}
+
+func TestResultTextMergesConsecutiveLines(t *testing.T) {
+	var res Result
+	res.Textf("one %d\n", 1)
+	res.Textln("two")
+	if len(res.Blocks) != 1 {
+		t.Fatalf("consecutive text should merge into one block, got %d", len(res.Blocks))
+	}
+	if got := res.Blocks[0].Text; got != "one 1\ntwo\n" {
+		t.Fatalf("merged text = %q", got)
+	}
+	res.Table().Row("x")
+	res.Textln("three")
+	if len(res.Blocks) != 3 {
+		t.Fatalf("table should split text blocks, got %d blocks", len(res.Blocks))
 	}
 }

@@ -2,7 +2,6 @@ package expt
 
 import (
 	"fmt"
-	"io"
 
 	"xtsim/internal/core"
 	"xtsim/internal/kernels"
@@ -26,7 +25,7 @@ func init() {
 	})
 }
 
-func runExtCheckpoint(w io.Writer, o Options) error {
+func runExtCheckpoint(res *Result, o Options) error {
 	tasks := 256
 	stepsPerCkpt := 10
 	if o.Short {
@@ -45,8 +44,8 @@ func runExtCheckpoint(w io.Writer, o Options) error {
 	}
 	derivBytes := kernels.HaloBytesPerFace(edge, edge, kernels.Deriv8Width, nVars)
 
-	t := newTable(w)
-	t.row("stripes", "step+ckpt cycle (s)", "I/O share", "write GB/s")
+	t := res.Table()
+	t.Row("stripes", "step+ckpt cycle (s)", "I/O share", "write GB/s")
 	for _, stripes := range []int{1, 4, 16, 64} {
 		sys := core.NewSystem(machine.XT4(), machine.VN, tasks)
 		fs, err := lustre.New(sys.Eng, sys.Fabric, lustre.DefaultConfig())
@@ -79,13 +78,12 @@ func runExtCheckpoint(w io.Writer, o Options) error {
 				total = p.Now()
 			}
 		})
-		_ = elapsed
+		res.AddSimSeconds(elapsed)
 		ioTime := total - computeEnd
 		share := ioTime / total
 		bw := float64(ckptBytesPerTask) * float64(tasks) / ioTime / 1e9
-		t.row(itoa(stripes), f2(total), fmt.Sprintf("%.1f%%", share*100), f2(bw))
+		t.Row(itoa(stripes), f2(total), fmt.Sprintf("%.1f%%", share*100), f2(bw))
 	}
-	t.flush()
-	fmt.Fprintln(w, "(The paper skipped I/O to avoid overemphasis in short runs; at production cadence the checkpoint tax is the filesystem's aggregate bandwidth divided into the run.)")
+	res.Textln("(The paper skipped I/O to avoid overemphasis in short runs; at production cadence the checkpoint tax is the filesystem's aggregate bandwidth divided into the run.)")
 	return nil
 }

@@ -2,7 +2,6 @@ package expt
 
 import (
 	"fmt"
-	"io"
 
 	"xtsim/internal/core"
 	"xtsim/internal/hpcc"
@@ -36,57 +35,57 @@ func init() {
 	register(Experiment{
 		ID: "fig4", Artifact: "Figure 4",
 		Title: "SP/EP Fast Fourier Transform (GFLOPS)",
-		Run: func(w io.Writer, o Options) error {
-			return runSPEP(w, o, "FFT", func(m machine.Machine) hpcc.SPEP { return hpcc.FFTNode(m, 1<<20) })
+		Run: func(res *Result, o Options) error {
+			return runSPEP(res, o, "FFT", func(m machine.Machine) hpcc.SPEP { return hpcc.FFTNode(m, 1<<20) })
 		},
 	})
 	register(Experiment{
 		ID: "fig5", Artifact: "Figure 5",
 		Title: "SP/EP Matrix Multiply DGEMM (GFLOPS)",
-		Run: func(w io.Writer, o Options) error {
-			return runSPEP(w, o, "DGEMM", func(m machine.Machine) hpcc.SPEP { return hpcc.DGEMMNode(m, 2000) })
+		Run: func(res *Result, o Options) error {
+			return runSPEP(res, o, "DGEMM", func(m machine.Machine) hpcc.SPEP { return hpcc.DGEMMNode(m, 2000) })
 		},
 	})
 	register(Experiment{
 		ID: "fig6", Artifact: "Figure 6",
 		Title: "SP/EP Random Access (GUPS)",
-		Run: func(w io.Writer, o Options) error {
-			return runSPEP(w, o, "RandomAccess", func(m machine.Machine) hpcc.SPEP { return hpcc.RandomAccessNode(m, 1<<20) })
+		Run: func(res *Result, o Options) error {
+			return runSPEP(res, o, "RandomAccess", func(m machine.Machine) hpcc.SPEP { return hpcc.RandomAccessNode(m, 1<<20) })
 		},
 	})
 	register(Experiment{
 		ID: "fig7", Artifact: "Figure 7",
 		Title: "SP/EP Memory Bandwidth STREAM triad (GB/s)",
-		Run: func(w io.Writer, o Options) error {
-			return runSPEP(w, o, "STREAM", func(m machine.Machine) hpcc.SPEP { return hpcc.StreamNode(m, 1<<24) })
+		Run: func(res *Result, o Options) error {
+			return runSPEP(res, o, "STREAM", func(m machine.Machine) hpcc.SPEP { return hpcc.StreamNode(m, 1<<24) })
 		},
 	})
 	register(Experiment{
 		ID: "fig8", Artifact: "Figure 8",
 		Title: "Global High Performance LINPACK (TFLOPS)",
-		Run: func(w io.Writer, o Options) error {
-			return runGlobal(w, o, "HPL TFLOPS", hpcc.HPL)
+		Run: func(res *Result, o Options) error {
+			return runGlobal(res, o, "HPL TFLOPS", hpcc.HPL)
 		},
 	})
 	register(Experiment{
 		ID: "fig9", Artifact: "Figure 9",
 		Title: "Global Fast Fourier Transform MPI-FFT (GFLOPS)",
-		Run: func(w io.Writer, o Options) error {
-			return runGlobal(w, o, "MPI-FFT GFLOPS", hpcc.MPIFFT)
+		Run: func(res *Result, o Options) error {
+			return runGlobal(res, o, "MPI-FFT GFLOPS", hpcc.MPIFFT)
 		},
 	})
 	register(Experiment{
 		ID: "fig10", Artifact: "Figure 10",
 		Title: "Global Matrix Transpose PTRANS (GB/s)",
-		Run: func(w io.Writer, o Options) error {
-			return runGlobal(w, o, "PTRANS GB/s", hpcc.PTRANS)
+		Run: func(res *Result, o Options) error {
+			return runGlobal(res, o, "PTRANS GB/s", hpcc.PTRANS)
 		},
 	})
 	register(Experiment{
 		ID: "fig11", Artifact: "Figure 11",
 		Title: "Global Random Access MPI-RA (GUPS)",
-		Run: func(w io.Writer, o Options) error {
-			return runGlobal(w, o, "MPI-RA GUPS", hpcc.MPIRA)
+		Run: func(res *Result, o Options) error {
+			return runGlobal(res, o, "MPI-RA GUPS", hpcc.MPIRA)
 		},
 	})
 	register(Experiment{
@@ -101,34 +100,32 @@ func init() {
 	})
 }
 
-func runTable1(w io.Writer, _ Options) error {
-	t := newTable(w)
+func runTable1(res *Result, _ Options) error {
+	t := res.Table()
 	xt3, dc, xt4 := machine.XT3(), machine.XT3DualCore(), machine.XT4()
-	t.row("", xt3.Name, dc.Name, xt4.Name)
-	t.row("Processor",
+	t.Row("", xt3.Name, dc.Name, xt4.Name)
+	t.Row("Processor",
 		fmt.Sprintf("%.1fGHz single-core", xt3.CPU.ClockGHz),
 		fmt.Sprintf("%.1fGHz dual-core", dc.CPU.ClockGHz),
 		fmt.Sprintf("%.1fGHz dual-core", xt4.CPU.ClockGHz))
-	t.row("Processor Sockets", itoa(xt3.TotalNodes), itoa(dc.TotalNodes), itoa(xt4.TotalNodes))
-	t.row("Processor Cores", itoa(xt3.MaxCores()), itoa(dc.MaxCores()), itoa(xt4.MaxCores()))
-	t.row("Memory", xt3.Mem.Kind, dc.Mem.Kind, xt4.Mem.Kind)
-	t.row("Memory Capacity", "2GB/core", "2GB/core", "2GB/core")
-	t.row("Memory Bandwidth",
+	t.Row("Processor Sockets", itoa(xt3.TotalNodes), itoa(dc.TotalNodes), itoa(xt4.TotalNodes))
+	t.Row("Processor Cores", itoa(xt3.MaxCores()), itoa(dc.MaxCores()), itoa(xt4.MaxCores()))
+	t.Row("Memory", xt3.Mem.Kind, dc.Mem.Kind, xt4.Mem.Kind)
+	t.Row("Memory Capacity", "2GB/core", "2GB/core", "2GB/core")
+	t.Row("Memory Bandwidth",
 		f2(xt3.Mem.PeakBW/1e9)+"GB/s", f2(dc.Mem.PeakBW/1e9)+"GB/s", f2(xt4.Mem.PeakBW/1e9)+"GB/s")
-	t.row("Interconnect", "Cray SeaStar", "Cray SeaStar", "Cray SeaStar2")
-	t.row("Network Injection BW",
+	t.Row("Interconnect", "Cray SeaStar", "Cray SeaStar", "Cray SeaStar2")
+	t.Row("Network Injection BW",
 		f2(xt3.NIC.InjBW/1e9)+"GB/s", f2(dc.NIC.InjBW/1e9)+"GB/s", f2(xt4.NIC.InjBW/1e9)+"GB/s")
-	t.flush()
 	return nil
 }
 
-func itoa(v int) string { return fmt.Sprintf("%d", v) }
 
-func runFig1(w io.Writer, _ Options) error {
+func runFig1(res *Result, _ Options) error {
 	cfg := lustre.DefaultConfig()
-	fmt.Fprintf(w, "Lustre deployment: 1 MDS, %d OSS x %d OST (%d OSTs total)\n",
+	res.Textf("Lustre deployment: 1 MDS, %d OSS x %d OST (%d OSTs total)\n",
 		cfg.OSSCount, cfg.OSTsPerOSS, cfg.TotalOSTs())
-	fmt.Fprintf(w, "OST disk %.0f MB/s, OSS path %.1f GB/s, MDS op %.0f µs, default stripe %d x %d KiB\n",
+	res.Textf("OST disk %.0f MB/s, OSS path %.1f GB/s, MDS op %.0f µs, default stripe %d x %d KiB\n",
 		cfg.OSTBandwidth/1e6, cfg.OSSNetBandwidth/1e9, cfg.MDSOpLatency*1e6,
 		cfg.DefaultStripeCount, cfg.StripeSize>>10)
 
@@ -144,39 +141,39 @@ func runFig1(w io.Writer, _ Options) error {
 		f := fs.Create(p, 4)
 		start := p.Now()
 		f.Write(p, 0, 0, 16<<20)
-		fmt.Fprintf(w, "client on node 0 wrote 16 MiB over %d stripes in %.2f ms (%.0f MB/s)\n",
+		res.Textf("client on node 0 wrote 16 MiB over %d stripes in %.2f ms (%.0f MB/s)\n",
 			f.StripeCount, (p.Now()-start)*1e3, 16.0*(1<<20)/(p.Now()-start)/1e6)
 	})
 	eng.Run()
-	fmt.Fprintf(w, "liblustre client path: compute node -> torus -> SIO node (OSS) -> OST\n")
+	res.AddSimSeconds(float64(eng.Now()))
+	res.Textf("liblustre client path: compute node -> torus -> SIO node (OSS) -> OST\n")
 	return nil
 }
 
 // xtTriple runs an experiment for the three bar groups of Figures 2-7:
 // XT3, XT4-SN and XT4-VN.
-func runSPEP(w io.Writer, _ Options, name string, run func(machine.Machine) hpcc.SPEP) error {
-	t := newTable(w)
-	t.row(name, "SP", "EP")
+func runSPEP(res *Result, _ Options, name string, run func(machine.Machine) hpcc.SPEP) error {
+	t := res.Table()
+	t.Row(name, "SP", "EP")
 	xt3 := run(machine.XT3())
-	t.row("XT3", f4(xt3.SP), f4(xt3.EP))
+	t.Row("XT3", f4(xt3.SP), f4(xt3.EP))
 	xt4 := run(machine.XT4())
 	// Figures 4-7 label the groups XT4-SN (one core) and XT4-VN (both
 	// cores); SP uses one core in both groups, EP differs.
-	t.row("XT4-SN", f4(xt4.SP), f4(xt4.SP))
-	t.row("XT4-VN", f4(xt4.SP), f4(xt4.EP))
-	t.flush()
+	t.Row("XT4-SN", f4(xt4.SP), f4(xt4.SP))
+	t.Row("XT4-VN", f4(xt4.SP), f4(xt4.EP))
 	return nil
 }
 
-func runFig2(w io.Writer, o Options) error {
-	return runNetwork(w, o, true)
+func runFig2(res *Result, o Options) error {
+	return runNetwork(res, o, true)
 }
 
-func runFig3(w io.Writer, o Options) error {
-	return runNetwork(w, o, false)
+func runFig3(res *Result, o Options) error {
+	return runNetwork(res, o, false)
 }
 
-func runNetwork(w io.Writer, o Options, latency bool) error {
+func runNetwork(res *Result, o Options, latency bool) error {
 	tasks := 128
 	if o.Short {
 		tasks = 32
@@ -185,8 +182,8 @@ func runNetwork(w io.Writer, o Options, latency bool) error {
 	if latency {
 		probe = hpcc.NetworkLatency
 	}
-	t := newTable(w)
-	t.row("", "PPmin", "PPavg", "PPmax", "Nat.Ring", "Rand.Ring")
+	t := res.Table()
+	t.Row("", "PPmin", "PPavg", "PPmax", "Nat.Ring", "Rand.Ring")
 	rows := []struct {
 		label string
 		m     machine.Machine
@@ -202,9 +199,8 @@ func runNetwork(w io.Writer, o Options, latency bool) error {
 			n = tasks * 2 // same node count, both cores
 		}
 		res := probe(r.m, r.mode, n)
-		t.row(r.label, f2(res.PPMin), f2(res.PPAvg), f2(res.PPMax), f2(res.NatRing), f2(res.RandRing))
+		t.Row(r.label, f2(res.PPMin), f2(res.PPAvg), f2(res.PPMax), f2(res.NatRing), f2(res.RandRing))
 	}
-	t.flush()
 	return nil
 }
 
@@ -216,39 +212,37 @@ func globalScales(o Options) []int {
 	return []int{64, 128, 256, 512}
 }
 
-func runGlobal(w io.Writer, o Options, metric string, bench func(machine.Machine, machine.Mode, int) hpcc.GlobalResult) error {
-	t := newTable(w)
-	t.row("sockets", "XT3", "XT4-SN", "XT4-VN(cores)", "XT4-VN(sockets)", "["+metric+"]")
+func runGlobal(res *Result, o Options, metric string, bench func(machine.Machine, machine.Mode, int) hpcc.GlobalResult) error {
+	t := res.Table()
+	t.Row("sockets", "XT3", "XT4-SN", "XT4-VN(cores)", "XT4-VN(sockets)", "["+metric+"]")
 	for _, sockets := range globalScales(o) {
 		xt3 := bench(machine.XT3(), machine.SN, sockets)
 		sn := bench(machine.XT4(), machine.SN, sockets)
 		vn := bench(machine.XT4(), machine.VN, 2*sockets)
 		// The paper plots VN twice: against its core count and against
 		// its socket count; the *value* is the same run.
-		t.row(itoa(sockets), f3(xt3.Value), f3(sn.Value), f3(vn.Value), f3(vn.Value), "")
+		t.Row(itoa(sockets), f3(xt3.Value), f3(sn.Value), f3(vn.Value), f3(vn.Value), "")
 	}
-	t.flush()
 	return nil
 }
 
-func runFig1213(w io.Writer, o Options) error {
+func runFig1213(res *Result, o Options) error {
 	sizes := hpcc.StandardSizes()
 	if o.Short {
 		sizes = []int64{64, 8192, 1 << 20}
 	}
-	t := newTable(w)
-	t.row("bytes", "XT3-SC 0-1", "XT3-DC 0-1", "XT3-DC 2pair", "XT4 0-1", "XT4 2pair", "[GB/s per pair, bidirectional]")
+	t := res.Table()
+	t.Row("bytes", "XT3-SC 0-1", "XT3-DC 0-1", "XT3-DC 2pair", "XT4 0-1", "XT4 2pair", "[GB/s per pair, bidirectional]")
 	sc := hpcc.BidirBandwidth(machine.XT3(), machine.SN, 1, sizes)
 	dc1 := hpcc.BidirBandwidth(machine.XT3DualCore(), machine.VN, 1, sizes)
 	dc2 := hpcc.BidirBandwidth(machine.XT3DualCore(), machine.VN, 2, sizes)
 	x1 := hpcc.BidirBandwidth(machine.XT4(), machine.VN, 1, sizes)
 	x2 := hpcc.BidirBandwidth(machine.XT4(), machine.VN, 2, sizes)
 	for i := range sizes {
-		t.row(fmt.Sprintf("%d", sizes[i]),
+		t.Row(fmt.Sprintf("%d", sizes[i]),
 			f3(sc[i].BWPerPair/1e9), f3(dc1[i].BWPerPair/1e9), f3(dc2[i].BWPerPair/1e9),
 			f3(x1[i].BWPerPair/1e9), f3(x2[i].BWPerPair/1e9), "")
 	}
-	t.flush()
 	return nil
 }
 
@@ -265,32 +259,30 @@ func init() {
 	})
 }
 
-func runIMB(w io.Writer, o Options) error {
+func runIMB(res *Result, o Options) error {
 	sizes := []int64{8, 1024, 64 << 10, 1 << 20}
 	if o.Short {
 		sizes = []int64{8, 1 << 20}
 	}
-	t := newTable(w)
-	t.row("bytes", "PingPong µs", "PingPong GB/s", "PingPing GB/s", "Exchange GB/s", "Allreduce(16) µs", "[XT4-SN]")
+	t := res.Table()
+	t.Row("bytes", "PingPong µs", "PingPong GB/s", "PingPing GB/s", "Exchange GB/s", "Allreduce(16) µs", "[XT4-SN]")
 	pp := hpcc.IMBPingPong(machine.XT4(), machine.SN, sizes)
 	p2 := hpcc.IMBPingPing(machine.XT4(), machine.SN, sizes)
 	ex := hpcc.IMBExchange(machine.XT4(), machine.SN, 16, sizes)
 	ar := hpcc.IMBAllreduce(machine.XT4(), machine.SN, 16, sizes)
 	for i := range sizes {
-		t.row(fmt.Sprintf("%d", sizes[i]),
+		t.Row(fmt.Sprintf("%d", sizes[i]),
 			f2(pp[i].Seconds*1e6), f3(pp[i].BW/1e9), f3(p2[i].BW/1e9),
 			f3(ex[i].BW/1e9), f2(ar[i].Seconds*1e6), "")
 	}
-	t.flush()
 
-	t2 := newTable(w)
-	t2.row("bytes", "XT3 PingPong µs", "XT4 PingPong µs", "XT3 GB/s", "XT4 GB/s", "")
+	t2 := res.Table()
+	t2.Row("bytes", "XT3 PingPong µs", "XT4 PingPong µs", "XT3 GB/s", "XT4 GB/s", "")
 	pp3 := hpcc.IMBPingPong(machine.XT3(), machine.SN, sizes)
 	for i := range sizes {
-		t2.row(fmt.Sprintf("%d", sizes[i]),
+		t2.Row(fmt.Sprintf("%d", sizes[i]),
 			f2(pp3[i].Seconds*1e6), f2(pp[i].Seconds*1e6),
 			f3(pp3[i].BW/1e9), f3(pp[i].BW/1e9), "")
 	}
-	t2.flush()
 	return nil
 }

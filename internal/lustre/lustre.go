@@ -12,6 +12,7 @@ package lustre
 
 import (
 	"fmt"
+	"sort"
 
 	"xtsim/internal/machine"
 	"xtsim/internal/network"
@@ -184,12 +185,20 @@ func (f *File) transfer(p *sim.Proc, clientNode int, offset, length int64, write
 		perOST[f.ostFor(pos)] += end - pos
 		pos = end
 	}
-	// Launch all stripe transfers and wait for completion.
+	// Launch all stripe transfers in OST order (map iteration order would
+	// randomise resource-reservation order and break run reproducibility)
+	// and wait for completion.
+	osts := make([]int, 0, len(perOST))
+	for ost := range perOST {
+		osts = append(osts, ost)
+	}
+	sort.Ints(osts)
 	var done sim.Condition
 	outstanding := 0
-	for ost, bytes := range perOST {
+	for _, ost := range osts {
+		bytes := perOST[ost]
 		outstanding++
-		ost, bytes := ost, bytes
+		ost := ost
 		// Network leg between client and OSS node.
 		msg := network.Msg{
 			SrcNode: clientNode, DstNode: fs.ostNode[ost],

@@ -238,3 +238,29 @@ func TestIORValidation(t *testing.T) {
 		t.Error("transfer > total accepted")
 	}
 }
+
+// TestStripedTransferDeterministic guards the fixed map-iteration bug:
+// launching stripe transfers in map order randomised resource-reservation
+// order, so the same striped write finished at a different simulated time
+// on different runs. The multi-client contention makes ordering matter.
+func TestStripedTransferDeterministic(t *testing.T) {
+	run := func() sim.Time {
+		eng, fs := testFS(t, DefaultConfig())
+		const clients = 8
+		for c := 0; c < clients; c++ {
+			c := c
+			eng.Spawn("client", func(p *sim.Proc) {
+				f := fs.Create(p, 16)
+				f.Write(p, c, 0, 48<<20)
+			})
+		}
+		eng.Run()
+		return eng.Now()
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d finished at %v, first run at %v", i, got, first)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Tier-1 gate: vet, build, and race-enabled tests for the whole module.
+# Run from the repo root before sending a change. The experiment runner is
+# concurrent (-jobs), so the race detector is part of the gate, not an
+# optional extra. The full suite includes 10k-task simulations; pass
+# -short for a quick local iteration loop:
+#
+#   ./scripts/check.sh          # full gate (what CI should run)
+#   ./scripts/check.sh -short   # quick pass
+set -eu
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race "$@" ./...

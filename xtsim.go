@@ -116,5 +116,18 @@ func RunExperiment(id string, w io.Writer, short bool) error {
 	if err != nil {
 		return err
 	}
-	return e.Run(w, expt.Options{Short: short})
+	res, err := e.Execute(expt.Options{Short: short})
+	if err != nil {
+		return err
+	}
+	return res.Render(w)
 }
+
+// ExperimentRunner runs a set of experiments concurrently on a bounded
+// worker pool while keeping rendered output deterministic and ordered —
+// the engine behind `xtsim -run all -jobs N`. See internal/expt.Runner.
+type ExperimentRunner = expt.Runner
+
+// ExperimentStatus is one experiment's campaign outcome (structured
+// result, error, wall-clock time).
+type ExperimentStatus = expt.Status
