@@ -1,0 +1,53 @@
+package xtsim_test
+
+import (
+	"bytes"
+	"testing"
+
+	"xtsim/internal/expt"
+	"xtsim/internal/sim"
+)
+
+// TestExperimentsDeterministic executes every registered experiment twice at
+// short scale and requires byte-identical rendered output AND an identical
+// number of simulator events executed. The event count is the stronger
+// check: a tie-break regression in the engine's event queue (or a stray map
+// iteration feeding event order) can reorder work while leaving rounded
+// table values untouched, and the free-list/heap rewrite in internal/sim is
+// exactly the kind of change this guards against.
+func TestExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment twice; skipped in -short")
+	}
+	opts := expt.Options{Short: true}
+	for _, e := range expt.All() {
+		e := e
+		// Subtests run sequentially, so the process-wide event counter
+		// attributes its delta to exactly one experiment execution.
+		t.Run(e.ID, func(t *testing.T) {
+			run := func() (string, uint64, error) {
+				before := sim.TotalEventsExecuted()
+				res, err := e.Execute(opts)
+				events := sim.TotalEventsExecuted() - before
+				var buf bytes.Buffer
+				if res != nil {
+					if rerr := res.Render(&buf); rerr != nil {
+						t.Fatal(rerr)
+					}
+				}
+				return buf.String(), events, err
+			}
+			out1, ev1, err1 := run()
+			out2, ev2, err2 := run()
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("error nondeterminism: first %v, second %v", err1, err2)
+			}
+			if out1 != out2 {
+				t.Fatalf("rendered output differs between identical runs\n--- first ---\n%s--- second ---\n%s", out1, out2)
+			}
+			if ev1 != ev2 {
+				t.Fatalf("EventsExecuted differs between identical runs: %d vs %d", ev1, ev2)
+			}
+		})
+	}
+}

@@ -1,0 +1,59 @@
+package xtsim_test
+
+import (
+	"bytes"
+	"os"
+	"runtime"
+	"testing"
+
+	"xtsim/internal/expt"
+)
+
+// TestCampaignOutputMatchesGolden locks the rendered short-scale campaign —
+// what `go run ./cmd/xtsim -run all -short` prints on stdout — to the
+// committed experiments_output.txt. Any model or engine change that shifts
+// a table value fails here first, with the diff location.
+//
+// To regenerate after an intentional change:
+//
+//	go run ./cmd/xtsim -run all -short > experiments_output.txt
+func TestCampaignOutputMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full short-scale campaign; skipped in -short")
+	}
+	want, err := os.ReadFile("experiments_output.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	r := &expt.Runner{
+		Jobs:   runtime.NumCPU(),
+		Opts:   expt.Options{Short: true},
+		Output: &buf,
+	}
+	statuses := r.Run(expt.All())
+	if failed := expt.Failed(statuses); len(failed) > 0 {
+		for _, s := range failed {
+			t.Errorf("%s failed: %v", s.Experiment.ID, s.Err)
+		}
+		t.Fatal("campaign had failures; golden comparison skipped")
+	}
+	got := buf.Bytes()
+	if bytes.Equal(got, want) {
+		return
+	}
+	gotLines := bytes.Split(got, []byte("\n"))
+	wantLines := bytes.Split(want, []byte("\n"))
+	n := len(gotLines)
+	if len(wantLines) < n {
+		n = len(wantLines)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(gotLines[i], wantLines[i]) {
+			t.Fatalf("campaign output diverges from experiments_output.txt at line %d:\n got: %q\nwant: %q\n(regenerate with: go run ./cmd/xtsim -run all -short > experiments_output.txt)",
+				i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("campaign output length differs: got %d lines, golden %d lines\n(regenerate with: go run ./cmd/xtsim -run all -short > experiments_output.txt)",
+		len(gotLines), len(wantLines))
+}

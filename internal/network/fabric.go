@@ -34,7 +34,17 @@ type Fabric struct {
 	nicTx   []sim.FIFOResource // per-node injection port
 	nicRx   []sim.FIFOResource // per-node ejection port (binding on flat fabrics)
 	vnProxy []sim.FIFOResource // per-node VN-mode message-handling core
-	derate  map[int]float64    // per-link bandwidth multipliers (fault injection)
+
+	// routes memoises dimension-ordered routes as link-id slices so the
+	// per-message hot path walks cached ids instead of materialising a
+	// []Link per delivery.
+	routes *torus.RouteCache
+
+	// derate holds per-link bandwidth multipliers for fault injection,
+	// indexed by link id. It is nil until the first DegradeLink call, so
+	// the fault-free hot path pays one nil check instead of a map lookup
+	// per link.
+	derate []float64
 
 	// MsgsDelivered counts completed transfers, for reporting.
 	MsgsDelivered uint64
@@ -42,9 +52,19 @@ type Fabric struct {
 	BytesDelivered uint64
 }
 
+// maxRouteCacheEntries bounds each fabric's route cache. 128Ki routes
+// cover every ordered pair of a 362-node system outright (≈10 MB worst
+// case); beyond that the cache holds the current communication phase's
+// working set (see torus.RouteCache for the eviction policy).
+const maxRouteCacheEntries = 1 << 17
+
 // New builds a fabric for nNodes nodes of machine m.
 func New(eng *sim.Engine, m machine.Machine, nNodes int) *Fabric {
 	tor := m.TorusFor(nNodes)
+	cacheMax := maxRouteCacheEntries
+	if pairs := tor.Nodes() * tor.Nodes(); pairs < cacheMax {
+		cacheMax = pairs
+	}
 	return &Fabric{
 		Eng:     eng,
 		M:       m,
@@ -53,6 +73,7 @@ func New(eng *sim.Engine, m machine.Machine, nNodes int) *Fabric {
 		nicTx:   make([]sim.FIFOResource, tor.Nodes()),
 		nicRx:   make([]sim.FIFOResource, tor.Nodes()),
 		vnProxy: make([]sim.FIFOResource, tor.Nodes()),
+		routes:  torus.NewRouteCache(tor, cacheMax),
 	}
 }
 
@@ -97,7 +118,11 @@ func (f *Fabric) Deliver(at sim.Time, msg Msg, onArrive func(arrive sim.Time)) T
 	if msg.SrcNode == msg.DstNode {
 		tl = f.deliverLocal(at, msg)
 		if onArrive != nil {
-			f.Eng.At(tl.Arrive, func() { onArrive(tl.Arrive) })
+			// Capture the scalar, not tl: a closure over tl would force
+			// the whole Timeline to the heap on every call, including the
+			// callback-free fast path.
+			arrive := tl.Arrive
+			f.Eng.At(arrive, func() { onArrive(arrive) })
 		}
 	} else {
 		tl = f.deliverRemote(at, msg, onArrive)
@@ -135,9 +160,13 @@ func (f *Fabric) deliverRemote(at sim.Time, msg Msg, onArrive func(sim.Time)) Ti
 	// Send-side software overhead.
 	t := at + nic.SendOverheadUS*usToS
 
+	// The cached dimension-ordered route, as link ids; its length is the
+	// hop count.
+	route := f.routes.LinkIDs(msg.SrcNode, msg.DstNode)
+	hops := len(route)
+
 	// Rendezvous protocol: large messages pay a control round-trip before
 	// the payload moves (request-to-send / clear-to-send).
-	hops := f.Tor.Hops(msg.SrcNode, msg.DstNode)
 	if nic.RendezvousThresholdBytes > 0 && msg.Bytes > int64(nic.RendezvousThresholdBytes) {
 		rtt := 2 * (nic.SendOverheadUS*usToS + float64(hops)*link.HopLatencyUS*usToS)
 		t += rtt
@@ -162,15 +191,13 @@ func (f *Fabric) deliverRemote(at sim.Time, msg Msg, onArrive func(sim.Time)) Ti
 	// head flit advances one hop latency per link, and each link is
 	// occupied for the full serialisation time, so contending flows push
 	// each other back.
-	route := f.Tor.Route(msg.SrcNode, msg.DstNode)
 	head := t0
 	var lastStart sim.Time = t0
 	lastSer := 0.0
-	for _, l := range route {
-		id := f.Tor.LinkID(l)
+	for _, id := range route {
 		bw := link.BW
-		if d, ok := f.derate[id]; ok {
-			bw *= d
+		if f.derate != nil {
+			bw *= f.derate[id]
 		}
 		linkSer := size / bw
 		s := f.links[id].Reserve(head+link.HopLatencyUS*usToS, linkSer)
@@ -236,14 +263,15 @@ func (f *Fabric) DegradeLink(l torus.Link, factor float64) {
 		panic(fmt.Sprintf("network: link derate factor %g out of (0,1]", factor))
 	}
 	if f.derate == nil {
-		f.derate = make(map[int]float64)
+		if factor == 1 {
+			return // nothing installed, nothing to remove
+		}
+		f.derate = make([]float64, f.Tor.NumLinks())
+		for i := range f.derate {
+			f.derate[i] = 1
+		}
 	}
-	id := f.Tor.LinkID(l)
-	if factor == 1 {
-		delete(f.derate, id)
-		return
-	}
-	f.derate[id] = factor
+	f.derate[f.Tor.LinkID(l)] = factor
 }
 
 // ZeroLatencyEstimate returns the modelled small-message one-way latency in

@@ -12,13 +12,19 @@
 // makes simulations fully deterministic — event ordering is defined by
 // (time, sequence number), never by the Go runtime scheduler — which is
 // essential for reproducible performance experiments.
+//
+// The scheduling hot path is allocation-free in steady state: events are
+// values in a 4-ary min-heap whose backing array doubles as a free list
+// (popped slots are zeroed and reused by later pushes), and process timers
+// and wakeups are dispatched through a typed event kind rather than a
+// per-wake closure. See DESIGN.md ("Engine hot path") for the invariants.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Time is a simulated timestamp in seconds since the start of the run.
@@ -28,52 +34,129 @@ type Time = float64
 // schedule. Resources use it to mark "no pending completion".
 const Infinity Time = math.MaxFloat64
 
+// Event dispatch kinds. Process timers and wakeups carry the *Proc in the
+// event itself instead of capturing it in a closure, which is what keeps
+// Wait/Recv allocation-free.
+const (
+	evFunc   uint8 = iota // call fn
+	evTimer               // a Wait deadline: unpark proc, transfer control
+	evResume              // a wake: bookkeeping already done, transfer control
+)
+
 // event is a single scheduled callback. Events with equal timestamps fire in
 // the order they were scheduled (seq breaks ties), which keeps runs
 // reproducible.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	kind uint8
+	fn   func() // evFunc payload
+	proc *Proc  // evTimer/evResume payload
 }
 
-// eventHeap is a binary min-heap over (at, seq).
-type eventHeap []*event
+// eventQueue is a 4-ary min-heap of event values ordered by (at, seq). A
+// 4-ary layout halves the tree depth of a binary heap and keeps siblings on
+// one cache line; storing events by value (not *event) means a push performs
+// no per-event allocation once the backing array has grown to the
+// simulation's high-water mark. pop zeroes the vacated slot, so the array
+// tail beyond len() is a free list of reusable slots holding no stale
+// references.
+type eventQueue struct {
+	ev []event
+}
 
-func (h eventHeap) Len() int { return len(h) }
+func (q *eventQueue) len() int { return len(q.ev) }
 
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders the heap by timestamp, then scheduling sequence.
+func (q *eventQueue) less(i, j int) bool {
+	a, b := &q.ev[i], &q.ev[j]
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+func (q *eventQueue) push(ev event) {
+	q.ev = append(q.ev, ev)
+	i := len(q.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !q.less(i, parent) {
+			break
+		}
+		q.ev[i], q.ev[parent] = q.ev[parent], q.ev[i]
+		i = parent
+	}
 }
+
+func (q *eventQueue) pop() event {
+	top := q.ev[0]
+	n := len(q.ev) - 1
+	q.ev[0] = q.ev[n]
+	q.ev[n] = event{} // return the slot to the free list with no live refs
+	q.ev = q.ev[:n]
+	if n > 1 {
+		q.siftDown(0)
+	}
+	return top
+}
+
+func (q *eventQueue) siftDown(i int) {
+	n := len(q.ev)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q.less(c, min) {
+				min = c
+			}
+		}
+		if !q.less(min, i) {
+			return
+		}
+		q.ev[i], q.ev[min] = q.ev[min], q.ev[i]
+		i = min
+	}
+}
+
+// totalEvents accumulates EventsExecuted across every engine in the
+// process. It exists for cross-run determinism checks (two runs of the same
+// experiment must execute the same number of events); see
+// TotalEventsExecuted.
+var totalEvents atomic.Uint64
+
+// TotalEventsExecuted reports the number of events executed by all engines
+// in this process since it started. Engines flush their counts when Run
+// returns (or panics), so reading the counter before and after a completed
+// simulation yields that simulation's exact event count even though the
+// engine itself is buried inside an experiment.
+func TotalEventsExecuted() uint64 { return totalEvents.Load() }
 
 // Engine owns the simulated clock and the pending-event queue. The zero
 // value is not usable; construct with NewEngine.
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	queue   eventQueue
 	live    int           // processes spawned and not yet finished
 	blocked int           // processes currently blocked on a primitive
 	running bool          // inside Run
 	handoff chan struct{} // signalled by a process when it yields control
 	procSeq int
-	parked  map[*Proc]struct{} // processes currently blocked, for diagnostics
+
+	// parkedHead/parkedTail form an intrusive doubly-linked list of blocked
+	// processes, threaded through Proc.prevParked/nextParked. It replaces a
+	// map keyed by *Proc: park/unpark are pointer writes instead of map
+	// inserts/deletes, and the list exists only for deadlock diagnostics.
+	parkedHead *Proc
+	parkedTail *Proc
 
 	// Stats, exported for tests and for the experiment harness.
 	EventsExecuted uint64
@@ -82,7 +165,7 @@ type Engine struct {
 
 // NewEngine returns an engine with the clock at zero and no pending events.
 func NewEngine() *Engine {
-	return &Engine{handoff: make(chan struct{}), parked: make(map[*Proc]struct{})}
+	return &Engine{handoff: make(chan struct{})}
 }
 
 // Now reports the current simulated time in seconds.
@@ -96,7 +179,7 @@ func (e *Engine) At(at Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %.9g before now %.9g", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+	e.queue.push(event{at: at, seq: e.seq, kind: evFunc, fn: fn})
 }
 
 // After schedules fn to run d seconds from the current simulated time.
@@ -105,6 +188,52 @@ func (e *Engine) After(d Time, fn func()) {
 		panic(fmt.Sprintf("sim: negative delay %.9g", d))
 	}
 	e.At(e.now+d, fn)
+}
+
+// schedProc schedules a process-control event (timer or resume) without
+// allocating: the target rides in the event value itself.
+func (e *Engine) schedProc(at Time, kind uint8, p *Proc) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %.9g before now %.9g", at, e.now))
+	}
+	e.seq++
+	e.queue.push(event{at: at, seq: e.seq, kind: kind, proc: p})
+}
+
+// park records p as blocked, appending it to the parked list.
+func (e *Engine) park(p *Proc) {
+	if p.parked {
+		panic(fmt.Sprintf("sim: process %q parked twice", p.name))
+	}
+	e.blocked++
+	p.parked = true
+	p.prevParked = e.parkedTail
+	if e.parkedTail != nil {
+		e.parkedTail.nextParked = p
+	} else {
+		e.parkedHead = p
+	}
+	e.parkedTail = p
+}
+
+// unpark removes p from the parked list.
+func (e *Engine) unpark(p *Proc) {
+	if !p.parked {
+		panic(fmt.Sprintf("sim: waking process %q which is not parked", p.name))
+	}
+	e.blocked--
+	p.parked = false
+	if p.prevParked != nil {
+		p.prevParked.nextParked = p.nextParked
+	} else {
+		e.parkedHead = p.nextParked
+	}
+	if p.nextParked != nil {
+		p.nextParked.prevParked = p.prevParked
+	} else {
+		e.parkedTail = p.prevParked
+	}
+	p.prevParked, p.nextParked = nil, nil
 }
 
 // Run executes events in timestamp order until the event queue is empty.
@@ -119,17 +248,29 @@ func (e *Engine) Run() Time {
 		panic("sim: Run called reentrantly")
 	}
 	e.running = true
-	defer func() { e.running = false }()
+	startCount := e.EventsExecuted
+	defer func() {
+		e.running = false
+		totalEvents.Add(e.EventsExecuted - startCount)
+	}()
 
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
+	for e.queue.len() > 0 {
+		ev := e.queue.pop()
 		e.now = ev.at
 		e.EventsExecuted++
-		ev.fn()
+		switch ev.kind {
+		case evFunc:
+			ev.fn()
+		case evTimer:
+			e.unpark(ev.proc)
+			ev.proc.run()
+		case evResume:
+			ev.proc.run()
+		}
 	}
 	if e.blocked > 0 {
-		names := make([]string, 0, 8)
-		for p := range e.parked {
+		names := make([]string, 0, 9)
+		for p := e.parkedHead; p != nil; p = p.nextParked {
 			names = append(names, p.name)
 			if len(names) == 8 {
 				names = append(names, "...")
@@ -143,4 +284,4 @@ func (e *Engine) Run() Time {
 }
 
 // Pending reports the number of events currently queued.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.queue.len() }

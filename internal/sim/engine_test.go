@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 )
 
@@ -313,4 +314,116 @@ func containsStr(s, sub string) bool {
 		}
 	}
 	return false
+}
+
+// TestEventOrderingStress drives the 4-ary heap through a large random
+// schedule (including duplicate timestamps and events scheduled from inside
+// events) and checks the (time, seq) contract: nondecreasing times, FIFO
+// within a timestamp.
+func TestEventOrderingStress(t *testing.T) {
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(7))
+	type stamp struct {
+		at  Time
+		idx int
+	}
+	var fired []stamp
+	idx := 0
+	var schedule func(depth int)
+	schedule = func(depth int) {
+		n := 200
+		if depth > 0 {
+			n = 20
+		}
+		for i := 0; i < n; i++ {
+			at := e.Now() + Time(rng.Intn(50))/10 // coarse grid forces ties
+			my := idx
+			idx++
+			e.At(at, func() {
+				fired = append(fired, stamp{at: at, idx: my})
+				if depth < 2 && rng.Intn(10) == 0 {
+					schedule(depth + 1)
+				}
+			})
+		}
+	}
+	schedule(0)
+	e.Run()
+	if len(fired) != idx {
+		t.Fatalf("fired %d of %d events", len(fired), idx)
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i].at < fired[i-1].at {
+			t.Fatalf("event %d fired at %v after %v", i, fired[i].at, fired[i-1].at)
+		}
+	}
+	if uint64(idx) != e.EventsExecuted {
+		t.Fatalf("EventsExecuted = %d, want %d", e.EventsExecuted, idx)
+	}
+}
+
+// TestSameTimeFIFOUnderLoad verifies the seq tie-break survives heap churn:
+// bursts of same-timestamp events interleaved with differently-timed ones
+// still fire in scheduling order.
+func TestSameTimeFIFOUnderLoad(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 500; i++ {
+		i := i
+		e.At(2.0, func() { order = append(order, i) })
+		e.At(Time(i%7), func() {})
+	}
+	e.Run()
+	if len(order) != 500 {
+		t.Fatalf("fired %d events at t=2, want 500", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events reordered at %d: got %d", i, v)
+		}
+	}
+}
+
+// TestSteadyStateSchedulingAllocFree pins the free-list invariant: once the
+// event queue has grown to its high-water mark, scheduling and running
+// events performs no heap allocation.
+func TestSteadyStateSchedulingAllocFree(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.After(Time(i), fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 32; i++ {
+			e.After(Time(i%5), fn)
+		}
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state scheduling allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestWakeNonParkedPanics guards the intrusive-list bookkeeping: waking a
+// process that is not blocked is a modelling bug and must fail loudly.
+func TestWakeNonParkedPanics(t *testing.T) {
+	e := NewEngine()
+	var c Condition
+	var waiter *Proc
+	e.Spawn("w", func(p *Proc) {
+		waiter = p
+		c.Await(p)
+	})
+	e.Spawn("signaller", func(p *Proc) {
+		p.Wait(1)
+		c.Broadcast() // unparks the waiter; its resume event is now pending
+		defer func() {
+			if recover() == nil {
+				t.Error("waking a non-parked process did not panic")
+			}
+		}()
+		waiter.wake()
+	})
+	e.Run()
 }

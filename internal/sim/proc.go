@@ -13,6 +13,13 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	done   bool
+
+	// parked plus the intrusive list links are the engine's blocked-process
+	// bookkeeping (see Engine.park/unpark): a state flag and two pointer
+	// writes per block instead of a map insert/delete.
+	parked     bool
+	prevParked *Proc
+	nextParked *Proc
 }
 
 // Spawn starts fn as a new simulated process at the current simulated time.
@@ -45,22 +52,27 @@ func (p *Proc) run() {
 	<-p.eng.handoff
 }
 
-// yield parks the calling process. The scheduler resumes it when some event
-// calls wake. Bookkeeping of the engine's blocked count lives here so the
-// deadlock detector in Run stays accurate.
-func (p *Proc) yield() {
-	p.eng.blocked++
-	p.eng.parked[p] = struct{}{}
+// block parks the calling process and hands control to the scheduler; it
+// returns when some event resumes the process. This is the single resume
+// path every blocking primitive funnels through: one handoff pair and no
+// allocation per block.
+func (p *Proc) block() {
 	p.eng.handoff <- struct{}{}
 	<-p.resume
+}
+
+// yield parks the calling process. The scheduler resumes it when some event
+// calls wake.
+func (p *Proc) yield() {
+	p.eng.park(p)
+	p.block()
 }
 
 // wake schedules the process to resume at the current simulated time. It
 // must only be called while the process is parked in yield.
 func (p *Proc) wake() {
-	p.eng.blocked--
-	delete(p.eng.parked, p)
-	p.eng.After(0, p.run)
+	p.eng.unpark(p)
+	p.eng.schedProc(p.eng.now, evResume, p)
 }
 
 // Engine returns the engine this process belongs to.
@@ -82,16 +94,9 @@ func (p *Proc) Wait(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: process %q waiting negative duration %.9g", p.name, d))
 	}
-	at := p.eng.now + d
-	p.eng.blocked++
-	p.eng.parked[p] = struct{}{}
-	p.eng.At(at, func() {
-		p.eng.blocked--
-		delete(p.eng.parked, p)
-		p.run()
-	})
-	p.eng.handoff <- struct{}{}
-	<-p.resume
+	p.eng.park(p)
+	p.eng.schedProc(p.eng.now+d, evTimer, p)
+	p.block()
 }
 
 // WaitUntil blocks the process until the absolute simulated time at, which
@@ -118,11 +123,14 @@ func (c *Condition) Await(p *Proc) {
 }
 
 // Broadcast wakes every process currently parked on the condition, in the
-// order they arrived.
+// order they arrived. The waiters slice keeps its capacity across rounds:
+// wake only schedules resume events (no waiter runs, so none can re-Await,
+// until Broadcast returns), which makes reusing the backing array safe.
 func (c *Condition) Broadcast() {
 	ws := c.waiters
-	c.waiters = nil
-	for _, w := range ws {
+	c.waiters = c.waiters[:0]
+	for i, w := range ws {
+		ws[i] = nil // drop the reference so the reused slot doesn't pin w
 		w.wake()
 	}
 }

@@ -100,10 +100,7 @@ func (r *PSResource) Consume(p *Proc, amount float64) {
 	j := &psJob{remaining: amount, total: amount, proc: p}
 	r.jobs = append(r.jobs, j)
 	r.reschedule()
-	p.eng.blocked++
-	p.eng.parked[p] = struct{}{}
-	p.eng.handoff <- struct{}{}
-	<-p.resume
+	p.yield()
 }
 
 // ConsumeAsync registers a demand for amount units and calls fn when it has

@@ -160,6 +160,105 @@ func (t Torus) Route(a, b int) []Link {
 	return route
 }
 
+// AppendLinkIDs appends the dense link ids (see LinkID) of the
+// dimension-ordered route from a to b onto dst and returns the extended
+// slice. It is Route composed with LinkID but without materialising Link
+// values: with sufficient capacity in dst it performs no allocation, which
+// is what the fabric's per-message hot path and the route cache rely on.
+func (t Torus) AppendLinkIDs(dst []int32, a, b int) []int32 {
+	ca, cb := t.Coord(a), t.Coord(b)
+	cur := ca
+	for dim := X; dim <= Z; dim++ {
+		var from, to, n int
+		switch dim {
+		case X:
+			from, to, n = cur.X, cb.X, t.NX
+		case Y:
+			from, to, n = cur.Y, cb.Y, t.NY
+		case Z:
+			from, to, n = cur.Z, cb.Z, t.NZ
+		}
+		dir, steps := ringSteps(from, to, n)
+		d := 0
+		if dir < 0 {
+			d = 1
+		}
+		for i := 0; i < steps; i++ {
+			dst = append(dst, int32(t.ID(cur)*6+int(dim)*2+d))
+			switch dim {
+			case X:
+				cur.X = mod(cur.X+dir, t.NX)
+			case Y:
+				cur.Y = mod(cur.Y+dir, t.NY)
+			case Z:
+				cur.Z = mod(cur.Z+dir, t.NZ)
+			}
+		}
+	}
+	if t.ID(cur) != b {
+		panic(fmt.Sprintf("torus: route from %d did not reach %d (stopped at %d)", a, b, t.ID(cur)))
+	}
+	return dst
+}
+
+// RouteCache memoises dimension-ordered routes as link-id slices, keyed by
+// (src, dst). Deterministic routing makes routes immutable for a topology,
+// so a cached route never goes stale; the cache is bounded so full-machine
+// sweeps (where the pair space is quadratic in nodes) cannot grow it
+// without limit. Eviction is a full reset on overflow — the workloads the
+// simulator runs are phase-structured, so after a reset the working set
+// repopulates in one round of messages, and a reset keeps lookups a single
+// map probe with no recency bookkeeping.
+//
+// RouteCache is not safe for concurrent use; each Fabric (and therefore
+// each engine) owns its own.
+type RouteCache struct {
+	t   Torus
+	max int
+	m   map[uint64][]int32
+
+	// Hits and Misses count lookups, for tests and tuning.
+	Hits, Misses uint64
+}
+
+// NewRouteCache builds a cache over t holding at most maxEntries routes
+// (minimum 1).
+func NewRouteCache(t Torus, maxEntries int) *RouteCache {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	return &RouteCache{t: t, max: maxEntries, m: make(map[uint64][]int32)}
+}
+
+// Topology returns the torus the cache routes over.
+func (c *RouteCache) Topology() Torus { return c.t }
+
+// Len reports the number of cached routes.
+func (c *RouteCache) Len() int { return len(c.m) }
+
+// LinkIDs returns the dense link ids of the dimension-ordered route from a
+// to b, computing and caching it on first use. Callers must treat the
+// returned slice as read-only: it is shared by every subsequent lookup of
+// the same pair.
+func (c *RouteCache) LinkIDs(a, b int) []int32 {
+	key := uint64(uint32(a))<<32 | uint64(uint32(b))
+	if ids, ok := c.m[key]; ok {
+		c.Hits++
+		return ids
+	}
+	c.Misses++
+	ids := c.t.AppendLinkIDs(make([]int32, 0, c.t.Hops(a, b)), a, b)
+	if len(c.m) >= c.max {
+		c.m = make(map[uint64][]int32, c.max)
+	}
+	c.m[key] = ids
+	return ids
+}
+
+// Hops reports the dimension-ordered hop count from a to b, derived from
+// the cached route so repeated queries cost one map probe.
+func (c *RouteCache) Hops(a, b int) int { return len(c.LinkIDs(a, b)) }
+
 // AvgHops returns the exact mean dimension-ordered hop count over all
 // ordered pairs of distinct nodes. It is used to pick representative
 // latency figures (the HPCC "ping-pong average") without enumerating pairs

@@ -233,3 +233,96 @@ func TestRouteBoundedProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Property: AppendLinkIDs matches Route composed with LinkID for every
+// pair, including appending after an existing prefix.
+func TestAppendLinkIDsMatchesRouteProperty(t *testing.T) {
+	tor := New(5, 4, 3)
+	f := func(aRaw, bRaw uint16) bool {
+		a := int(aRaw) % tor.Nodes()
+		b := int(bRaw) % tor.Nodes()
+		want := tor.Route(a, b)
+		got := tor.AppendLinkIDs(nil, a, b)
+		if len(got) != len(want) {
+			return false
+		}
+		for i, l := range want {
+			if int(got[i]) != tor.LinkID(l) {
+				return false
+			}
+		}
+		// Appending onto a prefix must leave the prefix intact.
+		pre := tor.AppendLinkIDs([]int32{-7}, a, b)
+		if pre[0] != -7 || len(pre) != len(want)+1 {
+			return false
+		}
+		for i := range got {
+			if pre[i+1] != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteCacheMatchesRoute(t *testing.T) {
+	tor := New(4, 4, 4)
+	c := NewRouteCache(tor, tor.Nodes()*tor.Nodes())
+	for a := 0; a < tor.Nodes(); a++ {
+		for b := 0; b < tor.Nodes(); b++ {
+			ids := c.LinkIDs(a, b)
+			want := tor.Route(a, b)
+			if len(ids) != len(want) {
+				t.Fatalf("cache route (%d,%d) len %d, want %d", a, b, len(ids), len(want))
+			}
+			for i, l := range want {
+				if int(ids[i]) != tor.LinkID(l) {
+					t.Fatalf("cache route (%d,%d)[%d] = %d, want %d", a, b, i, ids[i], tor.LinkID(l))
+				}
+			}
+			if c.Hops(a, b) != tor.Hops(a, b) {
+				t.Fatalf("cache hops (%d,%d) = %d, want %d", a, b, c.Hops(a, b), tor.Hops(a, b))
+			}
+		}
+	}
+	if c.Len() != tor.Nodes()*tor.Nodes() {
+		t.Fatalf("cache len = %d, want %d", c.Len(), tor.Nodes()*tor.Nodes())
+	}
+}
+
+func TestRouteCacheHitsAndSharing(t *testing.T) {
+	tor := New(4, 4, 1)
+	c := NewRouteCache(tor, 64)
+	first := c.LinkIDs(0, 5)
+	second := c.LinkIDs(0, 5)
+	if c.Misses != 1 || c.Hits != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", c.Hits, c.Misses)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("cached lookups disagree: %v vs %v", first, second)
+	}
+	if len(first) > 0 && &first[0] != &second[0] {
+		t.Fatal("second lookup did not return the cached slice")
+	}
+}
+
+func TestRouteCacheBoundedEviction(t *testing.T) {
+	tor := New(8, 8, 4)
+	const max = 16
+	c := NewRouteCache(tor, max)
+	for b := 0; b < 10*max; b++ {
+		c.LinkIDs(0, b%tor.Nodes())
+		if c.Len() > max {
+			t.Fatalf("cache grew to %d entries, bound is %d", c.Len(), max)
+		}
+	}
+	// Routes must stay correct across evictions.
+	ids := c.LinkIDs(3, 17)
+	want := tor.Route(3, 17)
+	if len(ids) != len(want) {
+		t.Fatalf("post-eviction route len %d, want %d", len(ids), len(want))
+	}
+}

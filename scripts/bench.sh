@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Perf trajectory tracker: runs the simulator micro-benchmarks (engine,
+# process switch, fabric) and the per-figure experiment benches with
+# -benchmem, then folds the numbers into BENCH_sim.json as one labelled
+# snapshot (ns/op, B/op, allocs/op per benchmark). Snapshots under other
+# labels are preserved, so before/after pairs for a perf PR live side by
+# side in the same file.
+#
+#   ./scripts/bench.sh            # snapshot under the label "current"
+#   ./scripts/bench.sh pr2        # snapshot under the label "pr2"
+#   FIG_BENCHTIME=10x ./scripts/bench.sh   # steadier figure numbers
+#
+# Environment knobs:
+#   BENCH_OUT        output file           (default BENCH_sim.json)
+#   MICRO_BENCHTIME  -benchtime for micro  (default 1s)
+#   FIG_BENCHTIME    -benchtime for figures (default 3x; figure benches run
+#                    one full short-scale experiment per iteration)
+set -eu
+cd "$(dirname "$0")/.."
+
+label="${1:-current}"
+out="${BENCH_OUT:-BENCH_sim.json}"
+micro_time="${MICRO_BENCHTIME:-1s}"
+fig_time="${FIG_BENCHTIME:-3x}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -benchmem -benchtime "$micro_time" \
+  -bench 'BenchmarkEngineEvents|BenchmarkProcSwitch|BenchmarkProcWait' \
+  ./internal/sim | tee -a "$tmp"
+go test -run '^$' -benchmem -benchtime "$micro_time" \
+  -bench 'BenchmarkFabric' \
+  ./internal/network | tee -a "$tmp"
+go test -run '^$' -benchmem -benchtime "$fig_time" \
+  -bench 'BenchmarkTable|BenchmarkFig|BenchmarkAblation' \
+  . | tee -a "$tmp"
+
+go run ./scripts/benchsnap -label "$label" -out "$out" < "$tmp"

@@ -1,0 +1,115 @@
+// Command benchsnap parses `go test -bench -benchmem` output on stdin and
+// folds it into a labelled snapshot inside a JSON file (BENCH_sim.json by
+// default), so the repo tracks ns/op and allocs/op per benchmark across
+// PRs. Existing snapshots under other labels are preserved, which is how
+// the file carries before/after pairs for a perf change.
+//
+// Usage (normally via scripts/bench.sh):
+//
+//	go test -run '^$' -bench . -benchmem ./... | go run ./scripts/benchsnap -label pr2
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark measurement.
+type Bench struct {
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Snapshot is one labelled benchmark run.
+type Snapshot struct {
+	Go         string           `json:"go"`
+	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+// File is the BENCH_sim.json layout.
+type File struct {
+	Schema    int                 `json:"schema"`
+	Snapshots map[string]Snapshot `json:"snapshots"`
+}
+
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	label := flag.String("label", "current", "snapshot label to write")
+	out := flag.String("out", "BENCH_sim.json", "snapshot file to update")
+	flag.Parse()
+
+	snap := Snapshot{Go: runtime.Version(), Benchmarks: map[string]Bench{}}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			parts := strings.Split(strings.TrimSpace(rest), "/")
+			pkg = parts[len(parts)-1]
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		if pkg != "" {
+			name = pkg + "." + name
+		}
+		b := Bench{}
+		b.Iters, _ = strconv.ParseInt(m[2], 10, 64)
+		b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			b.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			b.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		snap.Benchmarks[name] = b
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	f := File{Schema: 1, Snapshots: map[string]Snapshot{}}
+	if buf, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(buf, &f); err != nil {
+			fatal(fmt.Errorf("parse existing %s: %w", *out, err))
+		}
+	}
+	if f.Snapshots == nil {
+		f.Snapshots = map[string]Snapshot{}
+	}
+	f.Schema = 1
+	f.Snapshots[*label] = snap
+
+	buf, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchsnap: wrote %d benchmarks under %q to %s\n",
+		len(snap.Benchmarks), *label, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchsnap:", err)
+	os.Exit(1)
+}
