@@ -232,9 +232,10 @@ func (w Work) flopTime(m machine.Machine) float64 {
 // is the conservative non-overlapped roofline; calibration constants
 // absorb the difference.
 func (r *Rank) Compute(w Work) {
-	if r.sys.Tracer != nil {
-		start := r.Proc.Now()
-		defer func() { r.sys.Tracer.Record(r.ID, "compute", start, r.Proc.Now()) }()
+	tr := r.sys.Tracer
+	var start sim.Time
+	if tr != nil {
+		start = r.Proc.Now()
 	}
 	ft := w.flopTime(r.sys.M)
 	if r.sys.NoiseAmp > 0 {
@@ -248,6 +249,9 @@ func (r *Rank) Compute(w Work) {
 	}
 	if w.RandomAccesses > 0 {
 		r.Node().Random.Consume(r.Proc, w.RandomAccesses)
+	}
+	if tr != nil {
+		tr.Record(r.ID, "compute", start, r.Proc.Now())
 	}
 }
 

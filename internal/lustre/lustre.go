@@ -207,7 +207,7 @@ func (f *File) transfer(p *sim.Proc, clientNode int, offset, length int64, write
 		if !write {
 			msg.SrcNode, msg.DstNode = msg.DstNode, msg.SrcNode
 		}
-		fs.fabric.Deliver(p.Now(), msg, func(arrive sim.Time) {
+		fs.fabric.Deliver(p.Now(), msg, sim.ArriveFunc(func(arrive sim.Time) {
 			// OSS network path then OST disk, processor-shared with
 			// concurrent streams.
 			fs.ossNet[ost].ConsumeAsync(float64(bytes), func() {
@@ -218,7 +218,7 @@ func (f *File) transfer(p *sim.Proc, clientNode int, offset, length int64, write
 					}
 				})
 			})
-		})
+		}))
 	}
 	if outstanding > 0 {
 		done.Await(p)

@@ -1,0 +1,83 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+
+	"xtsim/internal/machine"
+)
+
+// MPI-layer micro-benchmarks: the per-operation cost of the simulated
+// runtime itself, one layer above the fabric benchmarks in
+// internal/network. BenchmarkMPIPingPong is the canary for the
+// allocation-free message path — it must report 0 allocs/op.
+//
+// The b.N loop runs inside the simulated ranks: only one simulated process
+// executes at a time (deterministic handoff), so calling ResetTimer from
+// rank 0 between warmup and the measured loop is safe.
+
+// BenchmarkMPIPingPong measures one blocking Send/Recv round trip between
+// two ranks in steady state (warm routes, warm mailboxes, warm pools).
+func BenchmarkMPIPingPong(b *testing.B) {
+	sys := newSys(2, machine.SN)
+	b.ReportAllocs()
+	Run(sys, Algorithmic, func(p *P) {
+		const warm = 200
+		if p.Rank() == 0 {
+			for i := 0; i < warm; i++ {
+				p.Send(1, 0, 4096)
+				p.Recv(1, 1)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Send(1, 0, 4096)
+				p.Recv(1, 1)
+			}
+		} else {
+			for i := 0; i < warm+b.N; i++ {
+				p.Recv(0, 0)
+				p.Send(0, 1, 4096)
+			}
+		}
+	})
+}
+
+// benchCollective runs body b.N times on every rank of an algorithmic
+// communicator after a short warmup. Collectives synchronise all ranks, so
+// rank 0's timer window covers the whole communicator's work.
+func benchCollective(b *testing.B, ranks int, body func(p *P)) {
+	sys := newSys(ranks, machine.SN)
+	b.ReportAllocs()
+	Run(sys, Algorithmic, func(p *P) {
+		const warm = 10
+		for i := 0; i < warm; i++ {
+			body(p)
+		}
+		if p.Rank() == 0 {
+			b.ResetTimer()
+		}
+		for i := 0; i < b.N; i++ {
+			body(p)
+		}
+	})
+}
+
+// BenchmarkMPIAllreduce measures the 8-byte recursive-doubling Allreduce —
+// the latency-bound pattern of POP's barotropic solver (§6.2).
+func BenchmarkMPIAllreduce(b *testing.B) {
+	for _, ranks := range []int{16, 64} {
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			benchCollective(b, ranks, func(p *P) { p.Allreduce(Sum, 8, nil) })
+		})
+	}
+}
+
+// BenchmarkMPIAlltoall measures the pairwise-exchange Alltoall that
+// dominates the MPI-FFT and PTRANS transposes.
+func BenchmarkMPIAlltoall(b *testing.B) {
+	for _, ranks := range []int{16, 64} {
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			benchCollective(b, ranks, func(p *P) { p.Alltoall(4096) })
+		})
+	}
+}

@@ -19,7 +19,8 @@ const (
 // (halving-distance) algorithm; the result slice (length len(data)/n,
 // rounded down) is returned when data is non-nil.
 func (p *P) ReduceScatter(op Op, bytesEach int64, data []float64) []float64 {
-	defer p.track(OpReduce)()
+	start := p.opBegin()
+	defer p.opEnd(OpReduce, start)
 	n := len(p.c.group)
 	if n == 1 {
 		return cloneFloats(data)
@@ -41,7 +42,7 @@ func (p *P) ReduceScatter(op Op, bytesEach int64, data []float64) []float64 {
 		src := (p.me - i + n) % n
 		sreq := p.isendData(dst, tagReduceScatter, bytesEach, nil)
 		p.Recv(src, tagReduceScatter)
-		p.Wait(sreq)
+		p.wait1(sreq)
 	}
 	full := p.accumulateShared(op, acc)
 	return scatterBlock(full, p.me, n)
@@ -64,7 +65,8 @@ func scatterBlock(full []float64, rank, n int) []float64 {
 // combination of ranks 0..i. Linear-chain algorithm (latency n·alpha,
 // matching small communicators; production MPIs use the same for small n).
 func (p *P) Scan(op Op, bytes int64, data []float64) []float64 {
-	defer p.track(OpReduce)()
+	start := p.opBegin()
+	defer p.opEnd(OpReduce, start)
 	n := len(p.c.group)
 	acc := cloneFloats(data)
 	if n == 1 {
@@ -101,6 +103,7 @@ func (p *P) Scan(op Op, bytes int64, data []float64) []float64 {
 		if acc != nil && env.Data != nil {
 			op.combine(acc, env.Data)
 		}
+		p.c.w.releasePayload(env.Data)
 	}
 	if p.me < n-1 {
 		p.sendData(p.me+1, tagScan, bytes, acc)

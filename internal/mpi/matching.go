@@ -1,0 +1,83 @@
+package mpi
+
+import "xtsim/internal/sim"
+
+// Message matching: each rank's per-communicator P owns a flat table of
+// per-sender slots, indexed by the sender's local rank, each holding a
+// small set of per-tag mailboxes. This replaces the former
+// map[(comm,src,tag)]*Mailbox lookup: the steady-state path is two array
+// indexes plus a short linear scan over live tags — no hashing, no
+// interface boxing, no map growth — and because the table lives on the
+// per-communicator P, Split/Dup communicators get isolated matching state
+// for free (see DESIGN.md §4d).
+//
+// The sender dimension is paged so a 22,000-task world does not allocate a
+// dense 22k-entry row per rank: pages materialise only for senders that
+// actually communicate with this rank, a handful under nearest-neighbour
+// or log-radix patterns.
+
+const (
+	pageShift  = 6
+	pageSize   = 1 << pageShift
+	inlineTags = 4
+)
+
+// tagBox is an overflow mailbox for slots using more than inlineTags tags.
+type tagBox struct {
+	tag int
+	box sim.Mailbox[Envelope]
+}
+
+// matchSlot holds the mailboxes for messages from one sender to the owning
+// rank. Slots are heap-allocated once and never move, so mailbox pointers
+// captured by in-flight messages stay valid as the table grows.
+type matchSlot struct {
+	n     int // live inline entries
+	tags  [inlineTags]int
+	boxes [inlineTags]sim.Mailbox[Envelope]
+	more  []*tagBox
+}
+
+// mbox returns the mailbox for tag, creating it on first use. Most
+// (sender, receiver) pairs use one or two tags, so the inline scan is
+// usually the whole lookup.
+func (s *matchSlot) mbox(tag int) *sim.Mailbox[Envelope] {
+	for i := 0; i < s.n; i++ {
+		if s.tags[i] == tag {
+			return &s.boxes[i]
+		}
+	}
+	for _, tb := range s.more {
+		if tb.tag == tag {
+			return &tb.box
+		}
+	}
+	if s.n < inlineTags {
+		i := s.n
+		s.n++
+		s.tags[i] = tag
+		return &s.boxes[i]
+	}
+	tb := &tagBox{tag: tag}
+	s.more = append(s.more, tb)
+	return &tb.box
+}
+
+// slot returns the matching slot for messages sent to p by local rank src,
+// materialising the directory, page and slot lazily on first use.
+func (p *P) slot(src int) *matchSlot {
+	if p.pages == nil {
+		p.pages = make([][]*matchSlot, (len(p.c.group)+pageSize-1)>>pageShift)
+	}
+	pg := p.pages[src>>pageShift]
+	if pg == nil {
+		pg = make([]*matchSlot, pageSize)
+		p.pages[src>>pageShift] = pg
+	}
+	s := pg[src&(pageSize-1)]
+	if s == nil {
+		s = &matchSlot{}
+		pg[src&(pageSize-1)] = s
+	}
+	return s
+}

@@ -83,18 +83,18 @@ type Envelope struct {
 	Data  []float64 // nil for size-only messages
 }
 
-type msgKey struct {
-	comm int
-	src  int // global task id
-	tag  int
-}
-
 // World is the runtime shared by all tasks of one system run.
 type World struct {
 	sys      *core.System
-	boxes    []map[msgKey]*sim.Mailbox // per global task
-	comms    int                       // comm id allocator
+	comms    int // comm id allocator
 	CollMode CollectiveMode
+
+	// freeFlights recycles the in-flight arrival records of eager sends;
+	// payloadPool recycles the float64 slabs carrying copied payloads. Both
+	// keep the steady-state message path allocation-free (see pool.go and
+	// DESIGN.md §4d).
+	freeFlights *flight
+	payloadPool [][]float64
 
 	// Stats by operation, for the phase breakdowns of Figures 16 and 19.
 	SentMsgs  uint64
@@ -103,20 +103,7 @@ type World struct {
 
 // NewWorld creates the runtime for sys.
 func NewWorld(sys *core.System) *World {
-	w := &World{sys: sys, boxes: make([]map[msgKey]*sim.Mailbox, sys.NumTasks)}
-	for i := range w.boxes {
-		w.boxes[i] = make(map[msgKey]*sim.Mailbox)
-	}
-	return w
-}
-
-func (w *World) box(task int, k msgKey) *sim.Mailbox {
-	b := w.boxes[task][k]
-	if b == nil {
-		b = &sim.Mailbox{}
-		w.boxes[task][k] = b
-	}
-	return b
+	return &World{sys: sys}
 }
 
 // Comm is a communicator: an ordered group of tasks with its own rank
@@ -148,6 +135,16 @@ type P struct {
 	collSeq int
 	opDepth int
 	prof    Profile
+
+	// Message-matching table: pages[src>>pageShift][src&(pageSize-1)] holds
+	// the per-sender slot (see matching.go). Living on the receiver's
+	// per-communicator P gives every communicator an isolated tag space.
+	pages [][]*matchSlot
+
+	// Hot-path pools and scratch (see pool.go and DESIGN.md §4d).
+	freeReqs    *Request   // recycled send requests
+	reqScratch  []*Request // reused request list for fan-out collectives
+	sizeScratch []int64    // reused per-rank size vector for Alltoall
 }
 
 // Run spawns body on every task of sys with a world communicator and runs
@@ -239,9 +236,9 @@ func (p *P) SendData(dst, tag int, data []float64) {
 }
 
 func (p *P) sendData(dst, tag int, bytes int64, data []float64) {
-	defer p.track(OpSend)()
-	req := p.isendData(dst, tag, bytes, data)
-	p.Wait(req)
+	start := p.opBegin()
+	defer p.opEnd(OpSend, start)
+	p.wait1(p.isendData(dst, tag, bytes, data))
 }
 
 // Isend starts a nonblocking send; the returned request completes when the
@@ -259,22 +256,17 @@ func (p *P) isendData(dst, tag int, bytes int64, data []float64) *Request {
 	w := p.c.w
 	dstTask := p.global(dst)
 	// Copy the payload: eager-protocol buffering means the sender may
-	// freely mutate its buffer after the send is issued.
-	env := Envelope{Src: p.me, Tag: tag, Bytes: bytes, Data: cloneFloats(data)}
-	key := msgKey{comm: p.c.id, src: p.task.ID, tag: tag}
-	box := w.box(dstTask, key)
+	// freely mutate its buffer after the send is issued. The copy lives in
+	// a pooled slab reclaimed when the receiver combines-and-drops it.
+	env := Envelope{Src: p.me, Tag: tag, Bytes: bytes, Data: w.clonePayload(data)}
+	box := p.c.members[dst].slot(p.me).mbox(tag)
 
-	tl := w.sys.Fabric.Deliver(p.task.Now(), p.msg(dstTask, bytes), func(sim.Time) {
-		box.Send(env)
-	})
+	tl := w.sys.Fabric.Deliver(p.task.Now(), p.msg(dstTask, bytes), w.newFlight(box, env))
 	w.SentMsgs++
 	w.SentBytes += uint64(bytes)
 
-	req := &Request{}
-	w.sys.Eng.At(tl.Injected, func() {
-		req.done = true
-		req.cond.Broadcast()
-	})
+	req := p.newSendReq()
+	w.sys.Eng.AtArrive(tl.Injected, req)
 	return req
 }
 
@@ -282,17 +274,18 @@ func (p *P) isendData(dst, tag int, bytes int64, data []float64) *Request {
 // and returns it. Matching is exact on (source, tag); messages from one
 // (source, tag) pair are delivered in order.
 func (p *P) Recv(src, tag int) Envelope {
-	defer p.track(OpRecv)()
-	srcTask := p.global(src)
-	key := msgKey{comm: p.c.id, src: srcTask, tag: tag}
-	box := p.c.w.box(p.task.ID, key)
-	return box.Recv(p.task.Proc).(Envelope)
+	start := p.opBegin()
+	defer p.opEnd(OpRecv, start)
+	if src < 0 || src >= len(p.c.group) {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", src, len(p.c.group)))
+	}
+	return p.slot(src).mbox(tag).Recv(p.task.Proc)
 }
 
 // Irecv returns a request whose Wait performs the receive; the envelope is
 // available from the request afterwards.
 func (p *P) Irecv(src, tag int) *Request {
-	return &Request{recv: func() Envelope { return p.Recv(src, tag) }}
+	return &Request{owner: p, src: src, tag: tag}
 }
 
 // SendRecv exchanges messages with potentially different partners, the
@@ -300,33 +293,76 @@ func (p *P) Irecv(src, tag int) *Request {
 func (p *P) SendRecv(dst, sendTag int, sendBytes int64, src, recvTag int) Envelope {
 	sreq := p.Isend(dst, sendTag, sendBytes)
 	env := p.Recv(src, recvTag)
-	p.Wait(sreq)
+	p.wait1(sreq)
 	return env
 }
 
-// Request tracks a nonblocking operation.
+// Request tracks a nonblocking operation. Send requests are pooled per
+// rank and recycled by Wait (do not Wait the same send request from two
+// places); receive requests perform their receive inside Wait and stay
+// owned by the caller so Envelope remains readable afterwards.
 type Request struct {
-	done bool
-	cond sim.Condition
-	recv func() Envelope
-	env  Envelope
+	done     bool
+	isSend   bool
+	envValid bool
+	recycled bool
+	cond     sim.Condition
+	env      Envelope
+	owner    *P // non-nil for receive requests
+	src, tag int
+	next     *Request // free-list link for pooled send requests
+}
+
+// Arrive completes a send request when its injection event fires; the
+// Request itself is the sim.Arriver, so no per-send closure is needed.
+func (r *Request) Arrive(sim.Time) {
+	r.done = true
+	r.cond.Broadcast()
 }
 
 // Envelope returns the received message after Wait on an Irecv request.
-func (r *Request) Envelope() Envelope { return r.env }
+func (r *Request) Envelope() Envelope {
+	if r.isSend {
+		panic("mpi: Envelope called on a send request (only Irecv requests carry one)")
+	}
+	if !r.envValid {
+		panic("mpi: Envelope called before Wait completed the receive")
+	}
+	return r.env
+}
 
 // Wait blocks until every request completes.
 func (p *P) Wait(reqs ...*Request) {
-	defer p.track(OpWait)()
+	start := p.opBegin()
+	defer p.opEnd(OpWait, start)
 	for _, r := range reqs {
-		if r.recv != nil {
-			r.env = r.recv()
+		p.waitOne(r)
+	}
+}
+
+// wait1 is Wait for a single request without the variadic slice.
+func (p *P) wait1(r *Request) {
+	start := p.opBegin()
+	defer p.opEnd(OpWait, start)
+	p.waitOne(r)
+}
+
+func (p *P) waitOne(r *Request) {
+	if r.owner != nil {
+		if !r.done {
+			r.env = r.owner.Recv(r.src, r.tag)
+			r.envValid = true
 			r.done = true
-			continue
 		}
-		for !r.done {
-			r.cond.Await(p.task.Proc)
-		}
+		return
+	}
+	for !r.done {
+		r.cond.Await(p.task.Proc)
+	}
+	if !r.recycled {
+		r.recycled = true
+		r.next = p.freeReqs
+		p.freeReqs = r
 	}
 }
 
@@ -405,7 +441,8 @@ func (p *P) bisectionBW() float64 {
 // Barrier blocks until every rank of the communicator has entered it.
 // Algorithmic form: dissemination barrier, ceil(log2 P) rounds.
 func (p *P) Barrier() {
-	defer p.track(OpBarrier)()
+	start := p.opBegin()
+	defer p.opEnd(OpBarrier, start)
 	n := len(p.c.group)
 	if n == 1 {
 		return
@@ -421,7 +458,7 @@ func (p *P) Barrier() {
 		src := (p.me - k + n) % n
 		sreq := p.Isend(dst, tagBarrier, 0)
 		p.Recv(src, tagBarrier)
-		p.Wait(sreq)
+		p.wait1(sreq)
 	}
 }
 
@@ -440,7 +477,8 @@ const (
 // Bcast sends bytes (and optionally data) from root to every rank using a
 // binomial tree; returns the data on every rank.
 func (p *P) Bcast(root int, bytes int64, data []float64) []float64 {
-	defer p.track(OpBcast)()
+	start := p.opBegin()
+	defer p.opEnd(OpBcast, start)
 	n := len(p.c.group)
 	if n == 1 {
 		return data
@@ -474,7 +512,7 @@ func (p *P) Bcast(root int, bytes int64, data []float64) []float64 {
 		}
 		mask <<= 1
 	}
-	var reqs []*Request
+	reqs := p.reqScratch[:0]
 	for m := mask >> 1; m >= 1; m >>= 1 {
 		child := vr | m
 		if child < n && child != vr {
@@ -482,6 +520,7 @@ func (p *P) Bcast(root int, bytes int64, data []float64) []float64 {
 		}
 	}
 	p.Wait(reqs...)
+	p.reqScratch = reqs[:0]
 	return data
 }
 
@@ -495,21 +534,31 @@ func (p *P) shareFromRoot(root int, data []float64) []float64 {
 	st := p.sync()
 	st.arrived++
 	if p.me == root {
-		st.acc = data
+		// Snapshot, not alias: waiters copy st.acc only after they are
+		// rescheduled, which can be after root has resumed and mutated its
+		// own buffer. A private snapshot keeps that mutation invisible.
+		st.acc = cloneFloats(data)
 	}
 	if st.arrived < len(p.c.group) {
 		st.cond.Await(p.task.Proc)
 	} else {
 		st.cond.Broadcast()
 	}
-	return st.acc
+	// Every non-root rank gets its own copy: handing the shared slice to
+	// all ranks would alias their results, so mutating one rank's buffer
+	// would silently corrupt every other rank's.
+	if p.me == root {
+		return data
+	}
+	return cloneFloats(st.acc)
 }
 
 // Reduce combines data from all ranks onto root with op, returning the
 // result on root (nil elsewhere). Size-only reductions pass nil data and a
 // positive bytes count.
 func (p *P) Reduce(root int, op Op, bytes int64, data []float64) []float64 {
-	defer p.track(OpReduce)()
+	start := p.opBegin()
+	defer p.opEnd(OpReduce, start)
 	n := len(p.c.group)
 	if n == 1 {
 		return cloneFloats(data)
@@ -539,6 +588,7 @@ func (p *P) Reduce(root int, op Op, bytes int64, data []float64) []float64 {
 			if acc != nil && env.Data != nil {
 				op.combine(acc, env.Data)
 			}
+			p.c.w.releasePayload(env.Data)
 		}
 	}
 	return acc
@@ -561,7 +611,10 @@ func (p *P) accumulateShared(op Op, data []float64) []float64 {
 	} else {
 		st.cond.Broadcast()
 	}
-	return st.acc
+	// Every rank copies out — the shared accumulator stays private. The
+	// last arriver must not keep st.acc either: it resumes (and may mutate
+	// its "own" result) before the woken waiters get to make their copies.
+	return cloneFloats(st.acc)
 }
 
 // Allreduce combines data across all ranks with op and returns the result
@@ -569,7 +622,8 @@ func (p *P) accumulateShared(op Op, data []float64) []float64 {
 // for non-power-of-two sizes — the pattern whose latency dominates POP's
 // barotropic phase (§6.2).
 func (p *P) Allreduce(op Op, bytes int64, data []float64) []float64 {
-	defer p.track(OpAllreduce)()
+	start := p.opBegin()
+	defer p.opEnd(OpAllreduce, start)
 	n := len(p.c.group)
 	if n == 1 {
 		return cloneFloats(data)
@@ -598,16 +652,18 @@ func (p *P) Allreduce(op Op, bytes int64, data []float64) []float64 {
 			if acc != nil && env.Data != nil {
 				op.combine(acc, env.Data)
 			}
+			p.c.w.releasePayload(env.Data)
 		}
 		// Recursive doubling among the pow2 group.
 		for mask := 1; mask < pow2; mask <<= 1 {
 			partner := p.me ^ mask
 			sreq := p.isendData(partner, tagAllreduce, bytes, acc)
 			env := p.Recv(partner, tagAllreduce)
-			p.Wait(sreq)
+			p.wait1(sreq)
 			if acc != nil && env.Data != nil {
 				op.combine(acc, env.Data)
 			}
+			p.c.w.releasePayload(env.Data)
 		}
 	}
 	// Unfold: partners return the result to the folded ranks.
@@ -623,12 +679,14 @@ func (p *P) Allreduce(op Op, bytes int64, data []float64) []float64 {
 // Alltoall exchanges bytesEach with every other rank (pairwise exchange).
 func (p *P) Alltoall(bytesEach int64) {
 	n := len(p.c.group)
-	sizes := make([]int64, n)
-	for i := range sizes {
-		if i != p.me {
-			sizes[i] = bytesEach
-		}
+	if cap(p.sizeScratch) < n {
+		p.sizeScratch = make([]int64, n)
 	}
+	sizes := p.sizeScratch[:n]
+	for i := range sizes {
+		sizes[i] = bytesEach
+	}
+	sizes[p.me] = 0
 	p.Alltoallv(sizes)
 }
 
@@ -639,7 +697,8 @@ func (p *P) Alltoall(bytesEach int64) {
 // load-balancing and dynamics remaps (§6.1) and the HPCC PTRANS/MPI-FFT
 // transposes.
 func (p *P) Alltoallv(sendSizes []int64) {
-	defer p.track(OpAlltoall)()
+	start := p.opBegin()
+	defer p.opEnd(OpAlltoall, start)
 	n := len(p.c.group)
 	if len(sendSizes) != n {
 		panic(fmt.Sprintf("mpi: Alltoallv sizes len %d != comm size %d", len(sendSizes), n))
@@ -681,7 +740,7 @@ func (p *P) Alltoallv(sendSizes []int64) {
 		})
 		return
 	}
-	var reqs []*Request
+	reqs := p.reqScratch[:0]
 	for i := 1; i < n; i++ {
 		dst := (p.me + i) % n
 		src := (p.me - i + n) % n
@@ -691,12 +750,14 @@ func (p *P) Alltoallv(sendSizes []int64) {
 		p.Recv(src, tagAlltoall)
 	}
 	p.Wait(reqs...)
+	p.reqScratch = reqs[:0]
 }
 
 // Allgather makes bytesEach from every rank available everywhere (ring
 // algorithm, bandwidth-optimal).
 func (p *P) Allgather(bytesEach int64) {
-	defer p.track(OpAllgather)()
+	start := p.opBegin()
+	defer p.opEnd(OpAllgather, start)
 	n := len(p.c.group)
 	if n == 1 {
 		return
@@ -713,13 +774,14 @@ func (p *P) Allgather(bytesEach int64) {
 	for i := 0; i < n-1; i++ {
 		sreq := p.Isend(right, tagAllgather, bytesEach)
 		p.Recv(left, tagAllgather)
-		p.Wait(sreq)
+		p.wait1(sreq)
 	}
 }
 
 // Gather collects bytesEach from every rank at root (direct).
 func (p *P) Gather(root int, bytesEach int64) {
-	defer p.track(OpGatherScatter)()
+	start := p.opBegin()
+	defer p.opEnd(OpGatherScatter, start)
 	n := len(p.c.group)
 	if n == 1 {
 		return
@@ -737,19 +799,21 @@ func (p *P) Gather(root int, bytesEach int64) {
 
 // Scatter distributes bytesEach from root to every rank (direct).
 func (p *P) Scatter(root int, bytesEach int64) {
-	defer p.track(OpGatherScatter)()
+	start := p.opBegin()
+	defer p.opEnd(OpGatherScatter, start)
 	n := len(p.c.group)
 	if n == 1 {
 		return
 	}
 	if p.me == root {
-		var reqs []*Request
+		reqs := p.reqScratch[:0]
 		for r := 0; r < n; r++ {
 			if r != root {
 				reqs = append(reqs, p.Isend(r, tagScatter, bytesEach))
 			}
 		}
 		p.Wait(reqs...)
+		p.reqScratch = reqs[:0]
 		return
 	}
 	p.Recv(root, tagScatter)

@@ -1,0 +1,89 @@
+package mpi
+
+import "xtsim/internal/sim"
+
+// Hot-path pooling (DESIGN.md §4d): in-flight arrival records, send
+// requests, and payload slabs are all recycled so a steady-state Send/Recv
+// pair and the algorithmic collectives built on it allocate nothing.
+
+// flight is the arrival record of one in-flight eager message. It
+// implements sim.Arriver, so Fabric.Deliver needs no per-send closure, and
+// it recycles itself into the world free list as soon as it has delivered
+// its envelope into the destination mailbox.
+type flight struct {
+	w    *World
+	box  *sim.Mailbox[Envelope]
+	env  Envelope
+	next *flight
+}
+
+// Arrive delivers the envelope at message-arrival time.
+func (f *flight) Arrive(sim.Time) {
+	w := f.w
+	f.box.Send(f.env)
+	f.box = nil
+	f.env = Envelope{}
+	f.next = w.freeFlights
+	w.freeFlights = f
+}
+
+func (w *World) newFlight(box *sim.Mailbox[Envelope], env Envelope) *flight {
+	f := w.freeFlights
+	if f == nil {
+		f = &flight{w: w}
+	} else {
+		w.freeFlights = f.next
+		f.next = nil
+	}
+	f.box = box
+	f.env = env
+	return f
+}
+
+// newSendReq pops a recycled send request from the rank's free list, or
+// allocates the pool's next one. Wait returns completed send requests to
+// the list.
+func (p *P) newSendReq() *Request {
+	r := p.freeReqs
+	if r == nil {
+		return &Request{isSend: true}
+	}
+	p.freeReqs = r.next
+	r.next = nil
+	r.done = false
+	r.recycled = false
+	return r
+}
+
+// clonePayload copies data into a slab drawn from the world pool. A nil
+// payload (size-only message) stays nil and never touches the pool.
+func (w *World) clonePayload(d []float64) []float64 {
+	if d == nil {
+		return nil
+	}
+	n := len(d)
+	pool := w.payloadPool
+	for i := len(pool) - 1; i >= 0; i-- {
+		if cap(pool[i]) >= n {
+			s := pool[i][:n]
+			last := len(pool) - 1
+			pool[i] = pool[last]
+			pool[last] = nil
+			w.payloadPool = pool[:last]
+			copy(s, d)
+			return s
+		}
+	}
+	out := make([]float64, n)
+	copy(out, d)
+	return out
+}
+
+// releasePayload returns a received slab to the pool. Call only at
+// combine-and-drop receive sites; slabs retained by the application (Bcast
+// data, Allreduce unfold results, user-level Recv) simply leave the pool.
+func (w *World) releasePayload(s []float64) {
+	if cap(s) > 0 {
+		w.payloadPool = append(w.payloadPool, s[:0])
+	}
+}

@@ -1,6 +1,10 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+
+	"xtsim/internal/sim"
+)
 
 // OpClass categorises MPI operations for time attribution. The paper
 // explains its application results through exactly this kind of
@@ -77,23 +81,31 @@ func (p *Profile) Collective() float64 {
 	return t
 }
 
-// track wraps a blocking region: it charges elapsed simulated time to
-// class unless a surrounding tracked region is already open (nesting depth
-// keeps algorithmic collectives from double-counting their internal p2p).
-func (p *P) track(class OpClass) func() {
+// opBegin opens a tracked blocking region and returns its start time, or
+// -1 when a surrounding region is already open (nesting depth keeps
+// algorithmic collectives from double-counting their internal p2p). Pair
+// with a deferred opEnd; the pair replaces a former closure-returning
+// helper so the hot path allocates nothing.
+func (p *P) opBegin() sim.Time {
 	p.opDepth++
 	if p.opDepth > 1 {
-		return func() { p.opDepth-- }
+		return -1
 	}
-	start := p.task.Now()
-	return func() {
-		p.opDepth--
-		now := p.task.Now()
-		p.prof.Seconds[class] += now - start
-		p.prof.Calls[class]++
-		if tr := p.c.w.sys.Tracer; tr != nil {
-			tr.Record(p.task.ID, class.String(), start, now)
-		}
+	return p.task.Now()
+}
+
+// opEnd closes the region opened by opBegin, attributing elapsed simulated
+// time, the call count, and a tracer record only for top-level regions.
+func (p *P) opEnd(class OpClass, start sim.Time) {
+	p.opDepth--
+	if start < 0 {
+		return
+	}
+	now := p.task.Now()
+	p.prof.Seconds[class] += now - start
+	p.prof.Calls[class]++
+	if tr := p.c.w.sys.Tracer; tr != nil {
+		tr.Record(p.task.ID, class.String(), start, now)
 	}
 }
 

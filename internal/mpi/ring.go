@@ -14,7 +14,8 @@ const tagRing = -200
 // moving bytes/n per neighbour hop. Total data moved per rank is
 // 2·bytes·(n−1)/n (bandwidth-optimal) at the cost of 2(n−1) latency terms.
 func (p *P) AllreduceRing(op Op, bytes int64, data []float64) []float64 {
-	defer p.track(OpAllreduce)()
+	start := p.opBegin()
+	defer p.opEnd(OpAllreduce, start)
 	n := len(p.c.group)
 	if n == 1 {
 		return cloneFloats(data)
@@ -33,12 +34,12 @@ func (p *P) AllreduceRing(op Op, bytes int64, data []float64) []float64 {
 	for step := 0; step < n-1; step++ { // reduce-scatter phase
 		sreq := p.isendData(right, tagRing, chunk, nil)
 		p.Recv(left, tagRing)
-		p.Wait(sreq)
+		p.wait1(sreq)
 	}
 	for step := 0; step < n-1; step++ { // allgather phase
 		sreq := p.isendData(right, tagRing, chunk, nil)
 		p.Recv(left, tagRing)
-		p.Wait(sreq)
+		p.wait1(sreq)
 	}
 	return p.accumulateShared(op, data)
 }

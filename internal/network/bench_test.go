@@ -46,7 +46,7 @@ func benchAllToAll(b *testing.B, nodes int) {
 	f := New(eng, machine.XT4(), nodes)
 	want := nodes * (nodes - 1)
 	arrived := 0
-	count := func(sim.Time) { arrived++ }
+	count := sim.ArriveFunc(func(sim.Time) { arrived++ })
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -46,6 +46,11 @@ type Fabric struct {
 	// per link.
 	derate []float64
 
+	// freeVN is a free list of VN-mode arrival records, recycled when the
+	// arrival event fires, so the per-message VN receive path allocates
+	// nothing in steady state.
+	freeVN *vnArrival
+
 	// MsgsDelivered counts completed transfers, for reporting.
 	MsgsDelivered uint64
 	// BytesDelivered accumulates payload bytes, for reporting.
@@ -102,11 +107,14 @@ type Timeline struct {
 }
 
 // Deliver computes the transfer timeline for msg departing at time at and
-// schedules onArrive at the arrival instant. It returns the timeline so
-// senders can block until local completion. Deliver must be called from an
-// event or process at simulated time at (it reserves resources relative to
-// the current schedule).
-func (f *Fabric) Deliver(at sim.Time, msg Msg, onArrive func(arrive sim.Time)) Timeline {
+// schedules onArrive at the arrival instant (the event's timestamp is
+// passed to Arrive). It returns the timeline so senders can block until
+// local completion. Deliver must be called from an event or process at
+// simulated time at (it reserves resources relative to the current
+// schedule). The callback is a sim.Arriver rather than a closure so
+// per-message callers can pass a pooled object and pay no allocation; use
+// sim.ArriveFunc to adapt a plain function on setup paths.
+func (f *Fabric) Deliver(at sim.Time, msg Msg, onArrive sim.Arriver) Timeline {
 	if msg.Bytes < 0 {
 		panic(fmt.Sprintf("network: negative message size %d", msg.Bytes))
 	}
@@ -118,11 +126,7 @@ func (f *Fabric) Deliver(at sim.Time, msg Msg, onArrive func(arrive sim.Time)) T
 	if msg.SrcNode == msg.DstNode {
 		tl = f.deliverLocal(at, msg)
 		if onArrive != nil {
-			// Capture the scalar, not tl: a closure over tl would force
-			// the whole Timeline to the heap on every call, including the
-			// callback-free fast path.
-			arrive := tl.Arrive
-			f.Eng.At(arrive, func() { onArrive(arrive) })
+			f.Eng.AtArrive(tl.Arrive, onArrive)
 		}
 	} else {
 		tl = f.deliverRemote(at, msg, onArrive)
@@ -130,6 +134,46 @@ func (f *Fabric) Deliver(at sim.Time, msg Msg, onArrive func(arrive sim.Time)) T
 	f.MsgsDelivered++
 	f.BytesDelivered += uint64(msg.Bytes)
 	return tl
+}
+
+// vnArrival is the deferred receive-side stage of one VN-mode transfer: at
+// the payload's tail-arrival instant it reserves the destination node's
+// message-handling core (queueing in arrival order) and then schedules the
+// caller's arrival callback. Records are pooled on the fabric.
+type vnArrival struct {
+	f     *Fabric
+	node  int         // destination node
+	extra sim.Time    // post-proxy mediation + receive software overhead
+	sink  sim.Arriver // caller's callback (may be nil)
+	next  *vnArrival  // free-list link
+}
+
+// Arrive runs at the payload's tail arrival time.
+func (v *vnArrival) Arrive(tail sim.Time) {
+	f := v.f
+	sink := v.sink
+	dur := f.M.NIC.VNProxyUS * usToS
+	start := f.vnProxy[v.node].Reserve(tail, dur)
+	arr := start + dur + v.extra
+	v.sink = nil
+	v.next = f.freeVN
+	f.freeVN = v
+	if sink != nil {
+		f.Eng.AtArrive(arr, sink)
+	}
+}
+
+// newVNArrival takes a record from the free list (or allocates one).
+func (f *Fabric) newVNArrival(node int, extra sim.Time, sink sim.Arriver) *vnArrival {
+	v := f.freeVN
+	if v == nil {
+		v = &vnArrival{f: f}
+	} else {
+		f.freeVN = v.next
+		v.next = nil
+	}
+	v.node, v.extra, v.sink = node, extra, sink
+	return v
 }
 
 // deliverLocal models a same-node (core-to-core) transfer: §2 notes that
@@ -152,7 +196,7 @@ func (f *Fabric) deliverLocal(at sim.Time, msg Msg) Timeline {
 // tail-arrival time, so that proxy queueing follows *arrival* order — a
 // FIFO reserved eagerly with future timestamps would queue messages in
 // send order and inflate contention unboundedly.
-func (f *Fabric) deliverRemote(at sim.Time, msg Msg, onArrive func(sim.Time)) Timeline {
+func (f *Fabric) deliverRemote(at sim.Time, msg Msg, onArrive sim.Arriver) Timeline {
 	nic := f.M.NIC
 	link := f.M.Link
 	size := float64(msg.Bytes)
@@ -234,20 +278,14 @@ func (f *Fabric) deliverRemote(at sim.Time, msg Msg, onArrive func(sim.Time)) Ti
 		}
 		// Reserve the handling core when the payload actually arrives, so
 		// contention reflects arrival order.
-		f.Eng.At(tail, func() {
-			start := f.vnProxy[msg.DstNode].Reserve(f.Eng.Now(), dur)
-			arr := start + dur + med + recvOv
-			if onArrive != nil {
-				f.Eng.At(arr, func() { onArrive(arr) })
-			}
-		})
+		f.Eng.AtArrive(tail, f.newVNArrival(msg.DstNode, med+recvOv, onArrive))
 		// The returned timeline carries the uncontended estimate; the
 		// authoritative arrival is the onArrive callback's timestamp.
 		return Timeline{Depart: at, Injected: injected, Arrive: tail + dur + med + recvOv}
 	}
 	arrive := tail + recvOv
 	if onArrive != nil {
-		f.Eng.At(arrive, func() { onArrive(arrive) })
+		f.Eng.AtArrive(arrive, onArrive)
 	}
 	return Timeline{Depart: at, Injected: injected, Arrive: arrive}
 }

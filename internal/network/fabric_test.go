@@ -147,10 +147,10 @@ func TestArrivalCallbackFires(t *testing.T) {
 	fired := false
 	var at sim.Time
 	eng.After(0, func() {
-		f.Deliver(0, Msg{SrcNode: 0, DstNode: 1, Bytes: 1024, Mode: machine.SN}, func(arr sim.Time) {
+		f.Deliver(0, Msg{SrcNode: 0, DstNode: 1, Bytes: 1024, Mode: machine.SN}, sim.ArriveFunc(func(arr sim.Time) {
 			fired = true
 			at = arr
-		})
+		}))
 	})
 	end := eng.Run()
 	if !fired {
@@ -251,10 +251,10 @@ func TestVNProxyQueuesInArrivalOrder(t *testing.T) {
 	// after, tiny (arrives much earlier).
 	var arriveA, arriveB sim.Time
 	eng.After(0, func() {
-		f.Deliver(0, Msg{SrcNode: 1, DstNode: 0, Bytes: 8 << 20, Mode: machine.VN}, func(at sim.Time) { arriveA = at })
+		f.Deliver(0, Msg{SrcNode: 1, DstNode: 0, Bytes: 8 << 20, Mode: machine.VN}, sim.ArriveFunc(func(at sim.Time) { arriveA = at }))
 	})
 	eng.After(1e-6, func() {
-		f.Deliver(1e-6, Msg{SrcNode: 2, DstNode: 0, Bytes: 8, Mode: machine.VN}, func(at sim.Time) { arriveB = at })
+		f.Deliver(1e-6, Msg{SrcNode: 2, DstNode: 0, Bytes: 8, Mode: machine.VN}, sim.ArriveFunc(func(at sim.Time) { arriveB = at }))
 	})
 	eng.Run()
 	if arriveB >= arriveA {
@@ -278,11 +278,11 @@ func TestVNProxyStillSerialisesBursts(t *testing.T) {
 	eng.After(0, func() {
 		for i := 0; i < burst; i++ {
 			src := 1 + i%8
-			f.Deliver(0, Msg{SrcNode: src, DstNode: 0, Bytes: 8, Mode: machine.VN}, func(at sim.Time) {
+			f.Deliver(0, Msg{SrcNode: src, DstNode: 0, Bytes: 8, Mode: machine.VN}, sim.ArriveFunc(func(at sim.Time) {
 				if at > last {
 					last = at
 				}
-			})
+			}))
 		}
 	})
 	eng.Run()

@@ -38,17 +38,17 @@ func BenchmarkEngineEvents(b *testing.B) {
 // simulated Recv, resource acquisition, and rendezvous pays.
 func BenchmarkProcSwitch(b *testing.B) {
 	e := NewEngine()
-	var ping, pong Mailbox
+	var ping, pong Mailbox[struct{}]
 	e.Spawn("ping", func(p *Proc) {
 		for i := 0; i < b.N; i++ {
-			ping.Send(nil)
+			ping.Send(struct{}{})
 			pong.Recv(p)
 		}
 	})
 	e.Spawn("pong", func(p *Proc) {
 		for i := 0; i < b.N; i++ {
 			ping.Recv(p)
-			pong.Send(nil)
+			pong.Send(struct{}{})
 		}
 	})
 	b.ReportAllocs()

@@ -38,21 +38,37 @@ const Infinity Time = math.MaxFloat64
 // event itself instead of capturing it in a closure, which is what keeps
 // Wait/Recv allocation-free.
 const (
-	evFunc   uint8 = iota // call fn
+	evFunc   uint8 = iota // call the wrapped closure (rides in arr)
 	evTimer               // a Wait deadline: unpark proc, transfer control
 	evResume              // a wake: bookkeeping already done, transfer control
+	evArrive              // dispatch arr.Arrive(at): a typed completion callback
 )
 
 // event is a single scheduled callback. Events with equal timestamps fire in
 // the order they were scheduled (seq breaks ties), which keeps runs
 // reproducible.
+//
+// The struct is kept at five words because the heap moves events by value:
+// the dispatch kind rides in the low two bits of seqKind (seq<<2 | kind
+// orders identically to seq, since seq is unique per event), and evFunc
+// closures ride in the arr slot (funcEvent is pointer-shaped, so the
+// interface conversion allocates nothing).
 type event struct {
-	at   Time
-	seq  uint64
-	kind uint8
-	fn   func() // evFunc payload
-	proc *Proc  // evTimer/evResume payload
+	at      Time
+	seqKind uint64  // scheduling sequence << kindBits | event kind
+	proc    *Proc   // evTimer/evResume payload
+	arr     Arriver // evFunc/evArrive payload
 }
+
+// kindBits is how far seqKind shifts the sequence number to make room for
+// the event kind.
+const kindBits = 2
+
+// funcEvent adapts an argument-less closure to the Arriver slot of an event.
+type funcEvent func()
+
+// Arrive calls f.
+func (f funcEvent) Arrive(Time) { f() }
 
 // eventQueue is a 4-ary min-heap of event values ordered by (at, seq). A
 // 4-ary layout halves the tree depth of a binary heap and keeps siblings on
@@ -73,7 +89,7 @@ func (q *eventQueue) less(i, j int) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
-	return a.seq < b.seq
+	return a.seqKind < b.seqKind
 }
 
 func (q *eventQueue) push(ev event) {
@@ -179,7 +195,7 @@ func (e *Engine) At(at Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %.9g before now %.9g", at, e.now))
 	}
 	e.seq++
-	e.queue.push(event{at: at, seq: e.seq, kind: evFunc, fn: fn})
+	e.queue.push(event{at: at, seqKind: e.seq<<kindBits | uint64(evFunc), arr: funcEvent(fn)})
 }
 
 // After schedules fn to run d seconds from the current simulated time.
@@ -190,6 +206,33 @@ func (e *Engine) After(d Time, fn func()) {
 	e.At(e.now+d, fn)
 }
 
+// Arriver is a typed completion callback: something that wants to be told
+// when a scheduled instant arrives. It exists so hot paths (message
+// deliveries, request completions) can schedule a completion without
+// allocating a closure — the receiver object rides in the event itself,
+// exactly as *Proc does for timers.
+type Arriver interface {
+	Arrive(at Time)
+}
+
+// ArriveFunc adapts an ordinary function to the Arriver interface, for
+// call sites where a closure is fine (setup paths, tests).
+type ArriveFunc func(at Time)
+
+// Arrive calls f.
+func (f ArriveFunc) Arrive(at Time) { f(at) }
+
+// AtArrive schedules a.Arrive(at) at the absolute simulated time at. Unlike
+// At it allocates nothing beyond the event slot: use it with a pooled or
+// long-lived Arriver on per-message paths.
+func (e *Engine) AtArrive(at Time, a Arriver) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %.9g before now %.9g", at, e.now))
+	}
+	e.seq++
+	e.queue.push(event{at: at, seqKind: e.seq<<kindBits | uint64(evArrive), arr: a})
+}
+
 // schedProc schedules a process-control event (timer or resume) without
 // allocating: the target rides in the event value itself.
 func (e *Engine) schedProc(at Time, kind uint8, p *Proc) {
@@ -197,7 +240,7 @@ func (e *Engine) schedProc(at Time, kind uint8, p *Proc) {
 		panic(fmt.Sprintf("sim: scheduling event at %.9g before now %.9g", at, e.now))
 	}
 	e.seq++
-	e.queue.push(event{at: at, seq: e.seq, kind: kind, proc: p})
+	e.queue.push(event{at: at, seqKind: e.seq<<kindBits | uint64(kind), proc: p})
 }
 
 // park records p as blocked, appending it to the parked list.
@@ -258,14 +301,16 @@ func (e *Engine) Run() Time {
 		ev := e.queue.pop()
 		e.now = ev.at
 		e.EventsExecuted++
-		switch ev.kind {
+		switch uint8(ev.seqKind & (1<<kindBits - 1)) {
 		case evFunc:
-			ev.fn()
+			ev.arr.(funcEvent)()
 		case evTimer:
 			e.unpark(ev.proc)
 			ev.proc.run()
 		case evResume:
 			ev.proc.run()
+		case evArrive:
+			ev.arr.Arrive(ev.at)
 		}
 	}
 	if e.blocked > 0 {

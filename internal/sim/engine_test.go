@@ -218,11 +218,11 @@ func TestSpawnFromProcess(t *testing.T) {
 
 func TestMailboxFIFO(t *testing.T) {
 	e := NewEngine()
-	var mb Mailbox
+	var mb Mailbox[int]
 	var got []int
 	e.Spawn("recv", func(p *Proc) {
 		for i := 0; i < 5; i++ {
-			got = append(got, mb.Recv(p).(int))
+			got = append(got, mb.Recv(p))
 		}
 	})
 	e.Spawn("send", func(p *Proc) {
@@ -241,7 +241,7 @@ func TestMailboxFIFO(t *testing.T) {
 
 func TestMailboxBuffersWhenNoReceiver(t *testing.T) {
 	e := NewEngine()
-	var mb Mailbox
+	var mb Mailbox[string]
 	e.Spawn("send", func(p *Proc) {
 		mb.Send("x")
 		mb.Send("y")
@@ -254,7 +254,7 @@ func TestMailboxBuffersWhenNoReceiver(t *testing.T) {
 			if !ok {
 				t.Error("TryRecv failed with nonzero Len")
 			}
-			got = append(got, v.(string))
+			got = append(got, v)
 		}
 	})
 	e.Run()
@@ -265,7 +265,7 @@ func TestMailboxBuffersWhenNoReceiver(t *testing.T) {
 
 func TestMailboxMultipleReceiversServedInOrder(t *testing.T) {
 	e := NewEngine()
-	var mb Mailbox
+	var mb Mailbox[int]
 	var served []int
 	for i := 0; i < 3; i++ {
 		i := i
@@ -314,6 +314,70 @@ func containsStr(s, sub string) bool {
 		}
 	}
 	return false
+}
+
+// TestMailboxRingWraparoundFIFO drives the ring buffer around its
+// wrap point many times with interleaved sends and receives at varying
+// occupancy, so head repeatedly crosses the end of the backing array while
+// messages are queued. FIFO order must survive every wrap and every grow.
+func TestMailboxRingWraparoundFIFO(t *testing.T) {
+	e := NewEngine()
+	var mb Mailbox[int]
+	next := 0
+	e.Spawn("driver", func(p *Proc) {
+		sent := 0
+		// Vary the in-flight depth 1..5 so the ring wraps at several
+		// different occupancies, including exactly-full (which forces grow
+		// with a wrapped payload).
+		for round := 0; round < 200; round++ {
+			depth := round%5 + 1
+			for i := 0; i < depth; i++ {
+				mb.Send(sent)
+				sent++
+			}
+			for i := 0; i < depth; i++ {
+				v, ok := mb.TryRecv()
+				if !ok {
+					t.Errorf("round %d: mailbox empty with %d expected", round, depth-i)
+					return
+				}
+				if v != next {
+					t.Errorf("round %d: got %d, want %d", round, v, next)
+					return
+				}
+				next++
+			}
+		}
+	})
+	e.Run()
+	if next == 0 {
+		t.Fatal("driver did not run")
+	}
+}
+
+// TestAtArriveDispatch checks the typed completion event: arrivers fire at
+// their scheduled instants, in (time, seq) order, with the event's own
+// timestamp as the argument.
+func TestAtArriveDispatch(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	rec := ArriveFunc(func(at Time) { got = append(got, at) })
+	e.AtArrive(2.0, rec)
+	e.AtArrive(1.0, rec)
+	e.AtArrive(1.0, ArriveFunc(func(at Time) { got = append(got, at+100) }))
+	end := e.Run()
+	if end != 2.0 {
+		t.Fatalf("end = %v", end)
+	}
+	want := []Time{1.0, 101.0, 2.0}
+	if len(got) != len(want) {
+		t.Fatalf("got = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got = %v, want %v", got, want)
+		}
+	}
 }
 
 // TestEventOrderingStress drives the 4-ary heap through a large random

@@ -1,22 +1,47 @@
 package sim
 
-// Mailbox is an unbounded, FIFO message queue between simulated processes.
+// Mailbox is an unbounded, FIFO message queue between simulated processes,
+// generic over the message type so values travel without interface boxing.
 // Send never blocks (and may be called from plain events, not just
 // processes); Recv blocks the receiving process until a message is
 // available. Messages are delivered in send order, and receivers are served
 // in arrival order, so mailbox behaviour is deterministic.
 //
-// Mailboxes are the building block for the simulated MPI matching engine:
-// each rank owns one mailbox per peer/tag class.
-type Mailbox struct {
-	queue   []any
+// Messages live in a power-of-two ring buffer: once the ring has grown to a
+// flow's high-water mark, a Send/Recv pair moves one value with no
+// allocation and no front-shift copy. Mailboxes are the building block for
+// the simulated MPI matching engine: each rank owns one mailbox per
+// (source, tag) class (see internal/mpi and DESIGN.md §4d).
+type Mailbox[T any] struct {
+	buf     []T // ring storage; len(buf) is always zero or a power of two
+	head    int // index of the oldest message
+	n       int // queued message count
 	waiters []*Proc
+}
+
+// grow doubles the ring (minimum 4 slots), unwrapping the live messages to
+// the front of the new storage.
+func (m *Mailbox[T]) grow() {
+	nc := 2 * len(m.buf)
+	if nc == 0 {
+		nc = 4
+	}
+	nb := make([]T, nc)
+	for i := 0; i < m.n; i++ {
+		nb[i] = m.buf[(m.head+i)&(len(m.buf)-1)]
+	}
+	m.buf = nb
+	m.head = 0
 }
 
 // Send deposits v in the mailbox and, if a receiver is parked, wakes the
 // oldest one.
-func (m *Mailbox) Send(v any) {
-	m.queue = append(m.queue, v)
+func (m *Mailbox[T]) Send(v T) {
+	if m.n == len(m.buf) {
+		m.grow()
+	}
+	m.buf[(m.head+m.n)&(len(m.buf)-1)] = v
+	m.n++
 	if len(m.waiters) > 0 {
 		w := m.waiters[0]
 		m.waiters = m.waiters[:copy(m.waiters, m.waiters[1:])]
@@ -24,28 +49,36 @@ func (m *Mailbox) Send(v any) {
 	}
 }
 
+// pop removes and returns the oldest message; the caller must have checked
+// m.n > 0. The vacated slot is zeroed so the ring pins no stale references.
+func (m *Mailbox[T]) pop() T {
+	v := m.buf[m.head]
+	var zero T
+	m.buf[m.head] = zero
+	m.head = (m.head + 1) & (len(m.buf) - 1)
+	m.n--
+	return v
+}
+
 // Recv removes and returns the oldest message, blocking the process until
 // one is available.
-func (m *Mailbox) Recv(p *Proc) any {
-	for len(m.queue) == 0 {
+func (m *Mailbox[T]) Recv(p *Proc) T {
+	for m.n == 0 {
 		m.waiters = append(m.waiters, p)
 		p.yield()
 	}
-	v := m.queue[0]
-	m.queue = m.queue[:copy(m.queue, m.queue[1:])]
-	return v
+	return m.pop()
 }
 
 // TryRecv removes and returns the oldest message without blocking. The
 // second result reports whether a message was available.
-func (m *Mailbox) TryRecv() (any, bool) {
-	if len(m.queue) == 0 {
-		return nil, false
+func (m *Mailbox[T]) TryRecv() (T, bool) {
+	if m.n == 0 {
+		var zero T
+		return zero, false
 	}
-	v := m.queue[0]
-	m.queue = m.queue[:copy(m.queue, m.queue[1:])]
-	return v, true
+	return m.pop(), true
 }
 
 // Len reports the number of queued messages.
-func (m *Mailbox) Len() int { return len(m.queue) }
+func (m *Mailbox[T]) Len() int { return m.n }

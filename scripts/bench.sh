@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # Perf trajectory tracker: runs the simulator micro-benchmarks (engine,
-# process switch, fabric) and the per-figure experiment benches with
+# process switch, fabric, MPI runtime) and the per-figure experiment benches with
 # -benchmem, then folds the numbers into BENCH_sim.json as one labelled
 # snapshot (ns/op, B/op, allocs/op per benchmark). Snapshots under other
 # labels are preserved, so before/after pairs for a perf PR live side by
@@ -31,6 +31,9 @@ go test -run '^$' -benchmem -benchtime "$micro_time" \
 go test -run '^$' -benchmem -benchtime "$micro_time" \
   -bench 'BenchmarkFabric' \
   ./internal/network | tee -a "$tmp"
+go test -run '^$' -benchmem -benchtime "$micro_time" \
+  -bench 'BenchmarkMPI' \
+  ./internal/mpi | tee -a "$tmp"
 go test -run '^$' -benchmem -benchtime "$fig_time" \
   -bench 'BenchmarkTable|BenchmarkFig|BenchmarkAblation' \
   . | tee -a "$tmp"

@@ -12,4 +12,6 @@ cd "$(dirname "$0")/.."
 
 go vet ./...
 go build ./...
-go test -race "$@" ./...
+# The race detector slows the 10k-task simulations well past go test's
+# default 10-minute per-package limit when packages run concurrently.
+go test -race -timeout 30m "$@" ./...
