@@ -10,6 +10,7 @@
 //	xtsim -run all -jobs 8           campaign on 8 workers (same output)
 //	xtsim -run all -short -json out/ quick run + one JSON artifact per id
 //	xtsim -run fig17 -timeout 5m     bound each experiment's wall time
+//	xtsim -run congestion -telemetry include the telemetry JSON export
 //
 // Rendered tables go to stdout in registration (paper) order regardless of
 // -jobs; timing/progress lines and the failure summary go to stderr. With
@@ -36,6 +37,7 @@ func main() {
 	jobs := flag.Int("jobs", runtime.NumCPU(), "experiments to run concurrently (output order is unaffected)")
 	jsonDir := flag.String("json", "", "write one JSON artifact per experiment into this directory")
 	timeout := flag.Duration("timeout", 0, "per-experiment wall-clock timeout (0 = none)")
+	tel := flag.Bool("telemetry", false, "attach the telemetry JSON export to experiments that collect it (e.g. congestion)")
 	flag.Parse()
 
 	var exps []expt.Experiment
@@ -60,7 +62,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := expt.Options{Short: *short}
+	opts := expt.Options{Short: *short, Telemetry: *tel}
 	runner := &expt.Runner{
 		Jobs:     *jobs,
 		Opts:     opts,

@@ -7,7 +7,6 @@ package main
 import (
 	"fmt"
 	"os"
-	"sort"
 
 	"xtsim/internal/core"
 	"xtsim/internal/machine"
@@ -45,14 +44,8 @@ func main() {
 	}
 
 	fmt.Println("\ntime by operation (all ranks):")
-	agg := rec.ByName()
-	names := make([]string, 0, len(agg))
-	for name := range agg {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		fmt.Printf("  %-12s %8.3f ms\n", name, agg[name]*1e3)
+	for _, nt := range rec.ByNameSorted() {
+		fmt.Printf("  %-12s %8.3f ms\n", nt.Name, nt.Seconds*1e3)
 	}
 
 	out, err := os.Create("xtsim-trace.json")

@@ -16,6 +16,7 @@ import (
 	"xtsim/internal/machine"
 	"xtsim/internal/network"
 	"xtsim/internal/sim"
+	"xtsim/internal/telemetry"
 )
 
 // Node is one compute node: a socket whose cores share the memory system.
@@ -60,6 +61,11 @@ type System struct {
 	// via the mpi package, every MPI operation), with simulated
 	// timestamps. internal/trace provides a recorder and exporters.
 	Tracer Tracer
+	// Tel is the telemetry collection point, nil until EnableTelemetry.
+	// Layers that come up afterwards (mpi.NewWorld) check it and attach
+	// their collectors; with Tel nil every instrumented hot path pays one
+	// nil check and nothing else.
+	Tel *telemetry.Set
 	// Rng drives noise; owned by the experiment for reproducibility.
 	Rng *rand.Rand
 }
@@ -104,6 +110,32 @@ func NewSystem(m machine.Machine, mode machine.Mode, nTasks int) *System {
 		}
 	}
 	return sys
+}
+
+// EnableTelemetry switches on the observability layer for this system:
+// fabric byte counters now, MPI statistics when a World is created.
+// Idempotent; call before creating the MPI world and before the traffic of
+// interest. Returns the system for chaining.
+func (s *System) EnableTelemetry() *System {
+	if s.Tel == nil {
+		s.Tel = &telemetry.Set{Fabric: s.Fabric.EnableTelemetry()}
+	}
+	return s
+}
+
+// TelemetryReport assembles the system's telemetry over [0, now]; nil
+// unless EnableTelemetry was called.
+func (s *System) TelemetryReport() *telemetry.Report {
+	if s.Tel == nil {
+		return nil
+	}
+	horizon := s.Eng.Now()
+	return &telemetry.Report{
+		SchemaVersion:  telemetry.SchemaVersion,
+		HorizonSeconds: horizon,
+		Fabric:         s.Fabric.TelemetryReport(horizon),
+		MPI:            s.Tel.MPI.Report(),
+	}
 }
 
 // Place maps a task id to its (node, core).

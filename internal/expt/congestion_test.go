@@ -1,0 +1,57 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// renderCongestion executes the congestion experiment at short scale and
+// returns its rendered bytes. The experiment runs its own conservation
+// check on every telemetry report, so a green Execute already certifies
+// the fabric's byte accounting.
+func renderCongestion(t *testing.T, opts Options) []byte {
+	t.Helper()
+	e, err := ByID("congestion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, execErr := e.Execute(opts)
+	if execErr != nil {
+		t.Fatal(execErr)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCongestionDeterministic(t *testing.T) {
+	opts := Options{Short: true, Telemetry: true}
+	first := renderCongestion(t, opts)
+	second := renderCongestion(t, opts)
+	if !bytes.Equal(first, second) {
+		t.Fatal("congestion experiment output differs between identical runs")
+	}
+	out := string(first)
+	for _, want := range []string{
+		"congestion heatmap",
+		"vn_proxy",
+		`"schema_version"`, // the attached JSON export
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestCongestionTelemetryBlockIsOptIn(t *testing.T) {
+	out := string(renderCongestion(t, Options{Short: true}))
+	if strings.Contains(out, `"schema_version"`) {
+		t.Error("JSON export attached without Options.Telemetry")
+	}
+	if !strings.Contains(out, "congestion heatmap") {
+		t.Error("heatmap should render even without Options.Telemetry")
+	}
+}

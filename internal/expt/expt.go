@@ -66,6 +66,10 @@ type Options struct {
 	// `go test -short` and `xtsim -short`). The shapes remain, the
 	// extreme-scale points are dropped.
 	Short bool `json:"short"`
+	// Telemetry makes experiments that collect telemetry (the congestion
+	// experiment) attach the full JSON export to their output; set by
+	// `xtsim -telemetry`. The summary tables and heatmap appear either way.
+	Telemetry bool `json:"telemetry"`
 }
 
 // Experiment regenerates one artifact of the paper.

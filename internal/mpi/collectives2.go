@@ -19,7 +19,7 @@ const (
 // (halving-distance) algorithm; the result slice (length len(data)/n,
 // rounded down) is returned when data is non-nil.
 func (p *P) ReduceScatter(op Op, bytesEach int64, data []float64) []float64 {
-	start := p.opBegin()
+	start := p.opBegin(OpReduce)
 	defer p.opEnd(OpReduce, start)
 	n := len(p.c.group)
 	if n == 1 {
@@ -65,7 +65,7 @@ func scatterBlock(full []float64, rank, n int) []float64 {
 // combination of ranks 0..i. Linear-chain algorithm (latency n·alpha,
 // matching small communicators; production MPIs use the same for small n).
 func (p *P) Scan(op Op, bytes int64, data []float64) []float64 {
-	start := p.opBegin()
+	start := p.opBegin(OpReduce)
 	defer p.opEnd(OpReduce, start)
 	n := len(p.c.group)
 	acc := cloneFloats(data)

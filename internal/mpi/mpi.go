@@ -23,6 +23,7 @@ import (
 	"xtsim/internal/machine"
 	"xtsim/internal/network"
 	"xtsim/internal/sim"
+	"xtsim/internal/telemetry"
 )
 
 // CollectiveMode selects how collectives are executed.
@@ -99,11 +100,24 @@ type World struct {
 	// Stats by operation, for the phase breakdowns of Figures 16 and 19.
 	SentMsgs  uint64
 	SentBytes uint64
+
+	// tel collects per-communicator operation statistics and the injection
+	// time series; nil unless the system had telemetry enabled when the
+	// world was created, in which case the message hot path pays a nil
+	// check and nothing else.
+	tel *telemetry.MPIStats
 }
 
-// NewWorld creates the runtime for sys.
+// NewWorld creates the runtime for sys. If telemetry is enabled on the
+// system (core.System.EnableTelemetry), the world attaches its MPI
+// collector to the system's telemetry set.
 func NewWorld(sys *core.System) *World {
-	return &World{sys: sys}
+	w := &World{sys: sys}
+	if sys.Tel != nil {
+		w.tel = telemetry.NewMPIStats(opNames(), 0)
+		sys.Tel.MPI = w.tel
+	}
+	return w
 }
 
 // Comm is a communicator: an ordered group of tasks with its own rank
@@ -116,6 +130,10 @@ type Comm struct {
 
 	syncs   []*syncState
 	members []*P // local-rank-indexed views, for shared-state coordination
+
+	// tel is the communicator's telemetry slot, nil when telemetry is off;
+	// cached here so the per-op hot path never does a map lookup.
+	tel *telemetry.CommStats
 }
 
 type syncState struct {
@@ -134,7 +152,12 @@ type P struct {
 	task    *core.Rank
 	collSeq int
 	opDepth int
-	prof    Profile
+	// curClass is the top-level operation currently open (valid while
+	// opDepth > 0); telemetry attributes injected messages to it, so the
+	// p2p traffic inside an algorithmic collective counts as the
+	// collective, matching the Profile attribution rules.
+	curClass OpClass
+	prof     Profile
 
 	// Message-matching table: pages[src>>pageShift][src&(pageSize-1)] holds
 	// the per-sender slot (see matching.go). Living on the receiver's
@@ -169,6 +192,9 @@ func identity(n int) []int {
 func (w *World) newComm(group []int) *Comm {
 	w.comms++
 	c := &Comm{w: w, id: w.comms, group: group, index: make(map[int]int, len(group))}
+	if w.tel != nil {
+		c.tel = w.tel.Comm(c.id, len(group))
+	}
 	c.members = make([]*P, len(group))
 	for lr, g := range group {
 		c.members[lr] = &P{c: c, me: lr}
@@ -236,7 +262,7 @@ func (p *P) SendData(dst, tag int, data []float64) {
 }
 
 func (p *P) sendData(dst, tag int, bytes int64, data []float64) {
-	start := p.opBegin()
+	start := p.opBegin(OpSend)
 	defer p.opEnd(OpSend, start)
 	p.wait1(p.isendData(dst, tag, bytes, data))
 }
@@ -264,6 +290,13 @@ func (p *P) isendData(dst, tag int, bytes int64, data []float64) *Request {
 	tl := w.sys.Fabric.Deliver(p.task.Now(), p.msg(dstTask, bytes), w.newFlight(box, env))
 	w.SentMsgs++
 	w.SentBytes += uint64(bytes)
+	if w.tel != nil {
+		cls := OpSend // a bare Isend outside any tracked region
+		if p.opDepth > 0 {
+			cls = p.curClass
+		}
+		w.tel.Message(p.c.tel, int(cls), tl.Depart, bytes)
+	}
 
 	req := p.newSendReq()
 	w.sys.Eng.AtArrive(tl.Injected, req)
@@ -274,7 +307,7 @@ func (p *P) isendData(dst, tag int, bytes int64, data []float64) *Request {
 // and returns it. Matching is exact on (source, tag); messages from one
 // (source, tag) pair are delivered in order.
 func (p *P) Recv(src, tag int) Envelope {
-	start := p.opBegin()
+	start := p.opBegin(OpRecv)
 	defer p.opEnd(OpRecv, start)
 	if src < 0 || src >= len(p.c.group) {
 		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", src, len(p.c.group)))
@@ -333,7 +366,7 @@ func (r *Request) Envelope() Envelope {
 
 // Wait blocks until every request completes.
 func (p *P) Wait(reqs ...*Request) {
-	start := p.opBegin()
+	start := p.opBegin(OpWait)
 	defer p.opEnd(OpWait, start)
 	for _, r := range reqs {
 		p.waitOne(r)
@@ -342,7 +375,7 @@ func (p *P) Wait(reqs ...*Request) {
 
 // wait1 is Wait for a single request without the variadic slice.
 func (p *P) wait1(r *Request) {
-	start := p.opBegin()
+	start := p.opBegin(OpWait)
 	defer p.opEnd(OpWait, start)
 	p.waitOne(r)
 }
@@ -441,7 +474,7 @@ func (p *P) bisectionBW() float64 {
 // Barrier blocks until every rank of the communicator has entered it.
 // Algorithmic form: dissemination barrier, ceil(log2 P) rounds.
 func (p *P) Barrier() {
-	start := p.opBegin()
+	start := p.opBegin(OpBarrier)
 	defer p.opEnd(OpBarrier, start)
 	n := len(p.c.group)
 	if n == 1 {
@@ -477,7 +510,7 @@ const (
 // Bcast sends bytes (and optionally data) from root to every rank using a
 // binomial tree; returns the data on every rank.
 func (p *P) Bcast(root int, bytes int64, data []float64) []float64 {
-	start := p.opBegin()
+	start := p.opBegin(OpBcast)
 	defer p.opEnd(OpBcast, start)
 	n := len(p.c.group)
 	if n == 1 {
@@ -557,7 +590,7 @@ func (p *P) shareFromRoot(root int, data []float64) []float64 {
 // result on root (nil elsewhere). Size-only reductions pass nil data and a
 // positive bytes count.
 func (p *P) Reduce(root int, op Op, bytes int64, data []float64) []float64 {
-	start := p.opBegin()
+	start := p.opBegin(OpReduce)
 	defer p.opEnd(OpReduce, start)
 	n := len(p.c.group)
 	if n == 1 {
@@ -622,7 +655,7 @@ func (p *P) accumulateShared(op Op, data []float64) []float64 {
 // for non-power-of-two sizes — the pattern whose latency dominates POP's
 // barotropic phase (§6.2).
 func (p *P) Allreduce(op Op, bytes int64, data []float64) []float64 {
-	start := p.opBegin()
+	start := p.opBegin(OpAllreduce)
 	defer p.opEnd(OpAllreduce, start)
 	n := len(p.c.group)
 	if n == 1 {
@@ -697,7 +730,7 @@ func (p *P) Alltoall(bytesEach int64) {
 // load-balancing and dynamics remaps (§6.1) and the HPCC PTRANS/MPI-FFT
 // transposes.
 func (p *P) Alltoallv(sendSizes []int64) {
-	start := p.opBegin()
+	start := p.opBegin(OpAlltoall)
 	defer p.opEnd(OpAlltoall, start)
 	n := len(p.c.group)
 	if len(sendSizes) != n {
@@ -756,7 +789,7 @@ func (p *P) Alltoallv(sendSizes []int64) {
 // Allgather makes bytesEach from every rank available everywhere (ring
 // algorithm, bandwidth-optimal).
 func (p *P) Allgather(bytesEach int64) {
-	start := p.opBegin()
+	start := p.opBegin(OpAllgather)
 	defer p.opEnd(OpAllgather, start)
 	n := len(p.c.group)
 	if n == 1 {
@@ -780,7 +813,7 @@ func (p *P) Allgather(bytesEach int64) {
 
 // Gather collects bytesEach from every rank at root (direct).
 func (p *P) Gather(root int, bytesEach int64) {
-	start := p.opBegin()
+	start := p.opBegin(OpGatherScatter)
 	defer p.opEnd(OpGatherScatter, start)
 	n := len(p.c.group)
 	if n == 1 {
@@ -799,7 +832,7 @@ func (p *P) Gather(root int, bytesEach int64) {
 
 // Scatter distributes bytesEach from root to every rank (direct).
 func (p *P) Scatter(root int, bytesEach int64) {
-	start := p.opBegin()
+	start := p.opBegin(OpGatherScatter)
 	defer p.opEnd(OpGatherScatter, start)
 	n := len(p.c.group)
 	if n == 1 {

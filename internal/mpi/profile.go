@@ -83,14 +83,17 @@ func (p *Profile) Collective() float64 {
 
 // opBegin opens a tracked blocking region and returns its start time, or
 // -1 when a surrounding region is already open (nesting depth keeps
-// algorithmic collectives from double-counting their internal p2p). Pair
-// with a deferred opEnd; the pair replaces a former closure-returning
-// helper so the hot path allocates nothing.
-func (p *P) opBegin() sim.Time {
+// algorithmic collectives from double-counting their internal p2p). The
+// class of the outermost open region is remembered so telemetry can
+// attribute injected messages to it. Pair with a deferred opEnd; the pair
+// replaces a former closure-returning helper so the hot path allocates
+// nothing.
+func (p *P) opBegin(class OpClass) sim.Time {
 	p.opDepth++
 	if p.opDepth > 1 {
 		return -1
 	}
+	p.curClass = class
 	return p.task.Now()
 }
 
@@ -104,9 +107,22 @@ func (p *P) opEnd(class OpClass, start sim.Time) {
 	now := p.task.Now()
 	p.prof.Seconds[class] += now - start
 	p.prof.Calls[class]++
+	if p.c.tel != nil {
+		p.c.tel.EndOp(int(class), now-start)
+	}
 	if tr := p.c.w.sys.Tracer; tr != nil {
 		tr.Record(p.task.ID, class.String(), start, now)
 	}
+}
+
+// opNames lists the display name of every operation class, indexed by
+// OpClass value; it is the name table handed to the telemetry collector.
+func opNames() []string {
+	names := make([]string, numOpClasses)
+	for op := OpClass(0); op < numOpClasses; op++ {
+		names[op] = op.String()
+	}
+	return names
 }
 
 // Profile returns the rank's accumulated MPI time attribution.

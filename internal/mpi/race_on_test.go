@@ -1,0 +1,7 @@
+//go:build race
+
+package mpi
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// guards skip under it because instrumentation perturbs the counts.
+const raceEnabled = true

@@ -14,7 +14,7 @@ const tagRing = -200
 // moving bytes/n per neighbour hop. Total data moved per rank is
 // 2·bytes·(n−1)/n (bandwidth-optimal) at the cost of 2(n−1) latency terms.
 func (p *P) AllreduceRing(op Op, bytes int64, data []float64) []float64 {
-	start := p.opBegin()
+	start := p.opBegin(OpAllreduce)
 	defer p.opEnd(OpAllreduce, start)
 	n := len(p.c.group)
 	if n == 1 {

@@ -15,9 +15,11 @@ package network
 
 import (
 	"fmt"
+	"sort"
 
 	"xtsim/internal/machine"
 	"xtsim/internal/sim"
+	"xtsim/internal/telemetry"
 	"xtsim/internal/torus"
 )
 
@@ -45,6 +47,13 @@ type Fabric struct {
 	// the fault-free hot path pays one nil check instead of a map lookup
 	// per link.
 	derate []float64
+
+	// tel holds per-resource payload-byte and queue-wait counters, nil
+	// until EnableTelemetry. Like derate, the telemetry-off hot path pays
+	// one nil check per reservation site and allocates nothing; busy
+	// seconds and reservation counts come from the FIFOResources themselves
+	// at report time, so only bytes and waits accumulate here.
+	tel *telemetry.FabricBytes
 
 	// freeVN is a free list of VN-mode arrival records, recycled when the
 	// arrival event fires, so the per-message VN receive path allocates
@@ -125,6 +134,9 @@ func (f *Fabric) Deliver(at sim.Time, msg Msg, onArrive sim.Arriver) Timeline {
 	var tl Timeline
 	if msg.SrcNode == msg.DstNode {
 		tl = f.deliverLocal(at, msg)
+		if f.tel != nil {
+			f.tel.Local += msg.Bytes
+		}
 		if onArrive != nil {
 			f.Eng.AtArrive(tl.Arrive, onArrive)
 		}
@@ -143,6 +155,7 @@ func (f *Fabric) Deliver(at sim.Time, msg Msg, onArrive sim.Arriver) Timeline {
 type vnArrival struct {
 	f     *Fabric
 	node  int         // destination node
+	bytes int64       // payload size, for telemetry accounting
 	extra sim.Time    // post-proxy mediation + receive software overhead
 	sink  sim.Arriver // caller's callback (may be nil)
 	next  *vnArrival  // free-list link
@@ -154,6 +167,10 @@ func (v *vnArrival) Arrive(tail sim.Time) {
 	sink := v.sink
 	dur := f.M.NIC.VNProxyUS * usToS
 	start := f.vnProxy[v.node].Reserve(tail, dur)
+	if f.tel != nil {
+		f.tel.VNProxy[v.node] += v.bytes
+		f.tel.VNProxyWait[v.node] += start - tail
+	}
 	arr := start + dur + v.extra
 	v.sink = nil
 	v.next = f.freeVN
@@ -164,7 +181,7 @@ func (v *vnArrival) Arrive(tail sim.Time) {
 }
 
 // newVNArrival takes a record from the free list (or allocates one).
-func (f *Fabric) newVNArrival(node int, extra sim.Time, sink sim.Arriver) *vnArrival {
+func (f *Fabric) newVNArrival(node int, bytes int64, extra sim.Time, sink sim.Arriver) *vnArrival {
 	v := f.freeVN
 	if v == nil {
 		v = &vnArrival{f: f}
@@ -172,7 +189,7 @@ func (f *Fabric) newVNArrival(node int, extra sim.Time, sink sim.Arriver) *vnArr
 		f.freeVN = v.next
 		v.next = nil
 	}
-	v.node, v.extra, v.sink = node, extra, sink
+	v.node, v.bytes, v.extra, v.sink = node, bytes, extra, sink
 	return v
 }
 
@@ -223,6 +240,10 @@ func (f *Fabric) deliverRemote(at sim.Time, msg Msg, onArrive sim.Arriver) Timel
 			t += nic.VNMediationUS * usToS
 		}
 		start := f.vnProxy[msg.SrcNode].Reserve(t, nic.VNProxyUS*usToS)
+		if f.tel != nil {
+			f.tel.VNProxy[msg.SrcNode] += msg.Bytes
+			f.tel.VNProxyWait[msg.SrcNode] += start - t
+		}
 		t = start + nic.VNProxyUS*usToS
 	}
 
@@ -230,6 +251,11 @@ func (f *Fabric) deliverRemote(at sim.Time, msg Msg, onArrive sim.Arriver) Timel
 	// NIC path at the effective injection bandwidth.
 	injTime := size / nic.EffBW()
 	t0 := f.nicTx[msg.SrcNode].Reserve(t, injTime)
+	if f.tel != nil {
+		f.tel.NICTx[msg.SrcNode] += msg.Bytes
+		f.tel.NICTxWait[msg.SrcNode] += t0 - t
+		f.tel.Hop += msg.Bytes * int64(hops)
+	}
 
 	// Links along the dimension-ordered route, cut-through pipelined: the
 	// head flit advances one hop latency per link, and each link is
@@ -238,13 +264,19 @@ func (f *Fabric) deliverRemote(at sim.Time, msg Msg, onArrive sim.Arriver) Timel
 	head := t0
 	var lastStart sim.Time = t0
 	lastSer := 0.0
+	tel := f.tel // hoisted: Reserve can't alias it, but the compiler can't tell
 	for _, id := range route {
 		bw := link.BW
 		if f.derate != nil {
 			bw *= f.derate[id]
 		}
 		linkSer := size / bw
-		s := f.links[id].Reserve(head+link.HopLatencyUS*usToS, linkSer)
+		req := head + link.HopLatencyUS*usToS
+		s := f.links[id].Reserve(req, linkSer)
+		if tel != nil {
+			tel.Link[id] += msg.Bytes
+			tel.LinkWait[id] += s - req
+		}
 		head = s
 		lastStart = s
 		lastSer = linkSer
@@ -264,6 +296,10 @@ func (f *Fabric) deliverRemote(at sim.Time, msg Msg, onArrive sim.Arriver) Timel
 	if f.M.Topology == machine.FlatSwitch {
 		ej := size / nic.EffBW()
 		s := f.nicRx[msg.DstNode].Reserve(tail-ej, ej)
+		if f.tel != nil {
+			f.tel.NICRx[msg.DstNode] += msg.Bytes
+			f.tel.NICRxWait[msg.DstNode] += s - (tail - ej)
+		}
 		tail = s + ej
 	}
 
@@ -278,7 +314,7 @@ func (f *Fabric) deliverRemote(at sim.Time, msg Msg, onArrive sim.Arriver) Timel
 		}
 		// Reserve the handling core when the payload actually arrives, so
 		// contention reflects arrival order.
-		f.Eng.AtArrive(tail, f.newVNArrival(msg.DstNode, med+recvOv, onArrive))
+		f.Eng.AtArrive(tail, f.newVNArrival(msg.DstNode, msg.Bytes, med+recvOv, onArrive))
 		// The returned timeline carries the uncontended estimate; the
 		// authoritative arrival is the onArrive callback's timestamp.
 		return Timeline{Depart: at, Injected: injected, Arrive: tail + dur + med + recvOv}
@@ -337,4 +373,139 @@ func (f *Fabric) LinkUtilization(horizon sim.Time) []float64 {
 		out[i] = f.links[i].Utilization(horizon)
 	}
 	return out
+}
+
+// EnableTelemetry installs the per-resource byte counters (nil-gated, like
+// derate) and returns them. Idempotent; call before the traffic of
+// interest — counters start from zero at the moment of the call.
+func (f *Fabric) EnableTelemetry() *telemetry.FabricBytes {
+	if f.tel == nil {
+		f.tel = telemetry.NewFabricBytes(f.Tor.NumLinks(), f.Tor.Nodes())
+	}
+	return f.tel
+}
+
+// TelemetryEnabled reports whether EnableTelemetry has been called.
+func (f *Fabric) TelemetryEnabled() bool { return f.tel != nil }
+
+// linkLabel names a directed link from its dense id ("node 12 +X").
+func (f *Fabric) linkLabel(id int) string {
+	dim := torus.Dim(id % 6 / 2)
+	sign := byte('+')
+	if id%2 == 1 {
+		sign = '-'
+	}
+	return fmt.Sprintf("node %d %c%v", id/6, sign, dim)
+}
+
+// telemetryTopLinks bounds the busiest-links list in the report.
+const telemetryTopLinks = 5
+
+// TelemetryReport assembles the fabric's deterministic utilization report
+// over [0, horizon]: per-class and per-dimension summaries, the per-node
+// congestion field, and the busiest links. Returns nil unless telemetry is
+// enabled. Busy seconds and reservation counts are read from the
+// FIFOResources (pre-existing fields); bytes and queue-wait seconds come
+// from the nil-gated hot-path accumulators.
+func (f *Fabric) TelemetryReport(horizon sim.Time) *telemetry.FabricReport {
+	if f.tel == nil {
+		return nil
+	}
+	tor := f.Tor
+	rep := &telemetry.FabricReport{
+		NX: tor.NX, NY: tor.NY, NZ: tor.NZ,
+		Torus:          fmt.Sprintf("%dx%dx%d", tor.NX, tor.NY, tor.NZ),
+		MsgsDelivered:  f.MsgsDelivered,
+		BytesDelivered: f.BytesDelivered,
+		LocalBytes:     f.tel.Local,
+		HopBytes:       f.tel.Hop,
+	}
+
+	// Per-class summaries, in fixed order. The busiest-resource label
+	// resolves the aggregator's index through the class's own id space.
+	linkAgg := telemetry.NewClassAgg("link", horizon)
+	for i := range f.links {
+		r := &f.links[i]
+		linkAgg.Add(r.Busy, f.tel.LinkWait[i], f.tel.Link[i], r.Count)
+	}
+	nodeClass := func(name string, rs []sim.FIFOResource, bytes []int64, wait []float64) *telemetry.ClassAgg {
+		agg := telemetry.NewClassAgg(name, horizon)
+		for i := range rs {
+			agg.Add(rs[i].Busy, wait[i], bytes[i], rs[i].Count)
+		}
+		return agg
+	}
+	txAgg := nodeClass("nic_tx", f.nicTx, f.tel.NICTx, f.tel.NICTxWait)
+	rxAgg := nodeClass("nic_rx", f.nicRx, f.tel.NICRx, f.tel.NICRxWait)
+	vnAgg := nodeClass("vn_proxy", f.vnProxy, f.tel.VNProxy, f.tel.VNProxyWait)
+	for _, agg := range []*telemetry.ClassAgg{linkAgg, txAgg, rxAgg, vnAgg} {
+		s := agg.Summary()
+		if i := agg.MaxIndex(); i >= 0 {
+			if s.Class == "link" {
+				s.Busiest = f.linkLabel(i)
+			} else {
+				s.Busiest = fmt.Sprintf("node %d", i)
+			}
+		}
+		rep.Classes = append(rep.Classes, s)
+	}
+
+	// Per-dimension link summaries: link id = node*6 + dim*2 + dir.
+	for dim := torus.X; dim <= torus.Z; dim++ {
+		agg := telemetry.NewClassAgg(dim.String(), horizon)
+		maxID := -1
+		for id := range f.links {
+			if torus.Dim(id%6/2) != dim {
+				continue
+			}
+			r := &f.links[id]
+			before := agg.MaxIndex()
+			agg.Add(r.Busy, f.tel.LinkWait[id], f.tel.Link[id], r.Count)
+			if agg.MaxIndex() != before {
+				maxID = id
+			}
+		}
+		s := agg.Summary()
+		if maxID >= 0 {
+			s.Busiest = f.linkLabel(maxID)
+		}
+		rep.Dims = append(rep.Dims, s)
+	}
+
+	// Per-node congestion field: mean utilization of the node's six
+	// outgoing links.
+	rep.NodeUtil = make([]float64, tor.Nodes())
+	if horizon > 0 {
+		for node := range rep.NodeUtil {
+			var busy sim.Time
+			for port := 0; port < 6; port++ {
+				busy += f.links[node*6+port].Busy
+			}
+			rep.NodeUtil[node] = busy / (6 * horizon)
+		}
+	}
+
+	// Busiest links, utilization-descending, ties toward lower ids.
+	if horizon > 0 {
+		ids := make([]int, len(f.links))
+		for i := range ids {
+			ids[i] = i
+		}
+		sort.SliceStable(ids, func(a, b int) bool {
+			return f.links[ids[a]].Busy > f.links[ids[b]].Busy
+		})
+		for _, id := range ids[:min(telemetryTopLinks, len(ids))] {
+			r := &f.links[id]
+			if r.Busy <= 0 {
+				break
+			}
+			rep.TopLinks = append(rep.TopLinks, telemetry.LinkHot{
+				Link:        f.linkLabel(id),
+				Utilization: r.Busy / horizon,
+				Bytes:       f.tel.Link[id],
+				WaitSeconds: f.tel.LinkWait[id],
+			})
+		}
+	}
+	return rep
 }

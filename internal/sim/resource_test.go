@@ -32,6 +32,22 @@ func TestFIFOReserveQueues(t *testing.T) {
 	}
 }
 
+// TestFIFOReserveReportsWait pins the contract telemetry wait accounting
+// depends on: Reserve's return value minus the requested time is exactly the
+// queue wait, zero when the resource is free.
+func TestFIFOReserveReportsWait(t *testing.T) {
+	var r FIFOResource
+	if got := r.Reserve(0, 10); got != 0 {
+		t.Fatalf("uncontended reserve started at %v, want 0 (no wait)", got)
+	}
+	if got := r.Reserve(3, 5); got-3 != 7 {
+		t.Fatalf("queued reserve waited %v, want 7", got-3)
+	}
+	if got := r.Reserve(20, 1); got != 20 {
+		t.Fatalf("post-idle reserve started at %v, want 20 (no wait)", got)
+	}
+}
+
 func TestFIFOUtilization(t *testing.T) {
 	var r FIFOResource
 	r.Reserve(0, 2)

@@ -66,6 +66,31 @@ func (r *Recorder) ByName() map[string]float64 {
 	return agg
 }
 
+// NameTotal is one entry of the sorted profile.
+type NameTotal struct {
+	Name    string
+	Seconds float64
+}
+
+// ByNameSorted aggregates total seconds per span name and returns the
+// entries sorted by descending seconds (ties alphabetical), so rendered
+// profiles are deterministic without every caller re-sorting the ByName
+// map.
+func (r *Recorder) ByNameSorted() []NameTotal {
+	agg := r.ByName()
+	out := make([]NameTotal, 0, len(agg))
+	for name, sec := range agg {
+		out = append(out, NameTotal{Name: name, Seconds: sec})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seconds != out[j].Seconds {
+			return out[i].Seconds > out[j].Seconds
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
 // chromeEvent is one entry of the Chrome trace-event format ("X" complete
 // events; timestamps in microseconds).
 type chromeEvent struct {
@@ -133,7 +158,16 @@ func (r *Recorder) Gantt(w io.Writer, width int) error {
 		if len(s.Name) > 0 {
 			c = s.Name[0]
 		}
+		// Clamp both ends into [0, width): a span ending exactly at tEnd
+		// maps to width, and a zero-length span at tEnd would otherwise put
+		// from out of range too.
 		from := int(s.Start / tEnd * float64(width))
+		if from >= width {
+			from = width - 1
+		}
+		if from < 0 {
+			from = 0
+		}
 		to := int(s.End / tEnd * float64(width))
 		if to >= width {
 			to = width - 1

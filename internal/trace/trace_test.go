@@ -45,6 +45,34 @@ func TestCapDropsExcess(t *testing.T) {
 	}
 }
 
+func TestCapZeroIsUnlimited(t *testing.T) {
+	var r Recorder
+	for i := 0; i < 100; i++ {
+		r.Record(0, "s", float64(i), float64(i)+1)
+	}
+	if r.Len() != 100 || r.Dropped != 0 {
+		t.Fatalf("len %d dropped %d with Cap=0", r.Len(), r.Dropped)
+	}
+}
+
+func TestByNameSorted(t *testing.T) {
+	var r Recorder
+	r.Record(0, "compute", 0, 3)
+	r.Record(0, "Allreduce", 3, 4)
+	r.Record(1, "Barrier", 0, 1)
+	got := r.ByNameSorted()
+	// compute (3s) first, then Allreduce/Barrier (1s each) alphabetically.
+	want := []NameTotal{{"compute", 3}, {"Allreduce", 1}, {"Barrier", 1}}
+	if len(got) != len(want) {
+		t.Fatalf("entries = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
 func TestChromeTraceIsValidJSON(t *testing.T) {
 	var r Recorder
 	r.Record(1, "compute", 0.5, 1.0)
@@ -70,6 +98,44 @@ func TestChromeTraceIsValidJSON(t *testing.T) {
 	// Microsecond conversion.
 	if events[1]["ts"].(float64) != 0.5e6 {
 		t.Fatalf("timestamp not in µs: %v", events[1])
+	}
+}
+
+// TestChromeTraceGoldenBytes pins the exact export bytes: the format is a
+// published interchange format and the trace is advertised as a
+// deterministic artifact, so any byte change is a compatibility event.
+func TestChromeTraceGoldenBytes(t *testing.T) {
+	var r Recorder
+	r.Record(1, "compute", 0.5, 1.0)
+	r.Record(0, "Recv", 0, 0.25)
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `[{"name":"Recv","ph":"X","ts":0,"dur":250000,"pid":1,"tid":0},{"name":"compute","ph":"X","ts":500000,"dur":500000,"pid":1,"tid":1}]` + "\n"
+	if buf.String() != want {
+		t.Fatalf("Chrome trace bytes changed:\n got: %q\nwant: %q", buf.String(), want)
+	}
+}
+
+// Regression: spans starting at (or scaled past) the timeline end, and
+// spans with negative start times, must clamp into the row instead of
+// indexing out of range.
+func TestGanttClampsOutOfRangeSpans(t *testing.T) {
+	var r Recorder
+	r.Record(0, "a", 0, 1)
+	r.Record(0, "end", 1, 1)      // zero-length span exactly at tEnd
+	r.Record(1, "neg", -0.5, 0.1) // negative start (Record allows it)
+	var buf bytes.Buffer
+	if err := r.Gantt(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "e") {
+		t.Fatalf("span at tEnd not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "n") {
+		t.Fatalf("negative-start span not rendered:\n%s", out)
 	}
 }
 
