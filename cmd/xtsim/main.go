@@ -11,6 +11,7 @@
 //	xtsim -run all -short -json out/ quick run + one JSON artifact per id
 //	xtsim -run fig17 -timeout 5m     bound each experiment's wall time
 //	xtsim -run congestion -telemetry include the telemetry JSON export
+//	xtsim -run critpath -critpath    include the critical-path JSON exports
 //
 // Rendered tables go to stdout in registration (paper) order regardless of
 // -jobs; timing/progress lines and the failure summary go to stderr. With
@@ -38,6 +39,7 @@ func main() {
 	jsonDir := flag.String("json", "", "write one JSON artifact per experiment into this directory")
 	timeout := flag.Duration("timeout", 0, "per-experiment wall-clock timeout (0 = none)")
 	tel := flag.Bool("telemetry", false, "attach the telemetry JSON export to experiments that collect it (e.g. congestion)")
+	cp := flag.Bool("critpath", false, "attach the critical-path JSON exports to experiments that record causal graphs (e.g. critpath)")
 	flag.Parse()
 
 	var exps []expt.Experiment
@@ -62,7 +64,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := expt.Options{Short: *short, Telemetry: *tel}
+	opts := expt.Options{Short: *short, Telemetry: *tel, CritPath: *cp}
 	runner := &expt.Runner{
 		Jobs:     *jobs,
 		Opts:     opts,

@@ -103,6 +103,10 @@ type Result struct {
 	// the quantity behind §6.1's claim that 70% of the SN/VN physics
 	// difference is this one operation.
 	PhysicsAlltoallvSecPerDay float64
+	// PhysicsAlltoallvShare is that time as a fraction of the physics
+	// phase wall time (Profile.Share over the phase) — the §6.1 split as
+	// a single number.
+	PhysicsAlltoallvShare float64
 }
 
 // Decompose picks the virtual processor grid for a task count, mirroring
@@ -151,7 +155,7 @@ func Run(m machine.Machine, mode machine.Mode, cfg Config, b Benchmark) Result {
 	levsPerTask := b.NLev / cfg.PVert
 
 	sys := core.NewSystem(m, mode, cfg.Tasks)
-	var tDyn, tPhys, tPhysA2AV float64
+	var tDyn, tPhys, tPhysA2AV, physA2AVShare float64
 
 	elapsed := mpi.Run(sys, mpi.Auto, func(p *mpi.P) {
 		me := p.Rank()
@@ -201,26 +205,16 @@ func Run(m machine.Machine, mode machine.Mode, cfg Config, b Benchmark) Result {
 
 		// --- Physics: column work plus load-balancing Alltoallv (and
 		// the imbedded land-model exchange the paper mentions). ---
-		lbSizes := make([]int64, n)
-		lbPer := int64(cellsPerTask * 8 / 2 / float64(n)) // rebalance half the columns
-		for i := range lbSizes {
-			if i != me {
-				lbSizes[i] = lbPer
-			}
-		}
 		a2avBefore := p.Profile().Seconds[mpi.OpAlltoall]
-		p.Alltoallv(lbSizes)
-		p.Compute(core.Work{
-			Flops:       cellsPerTask * physFlopsPerCell / threadBoost,
-			FlopEff:     camFlopEff,
-			StreamBytes: cellsPerTask * physBytesPerCell / threadBoost,
-			LoopLen:     latsPerTask * b.NLon / 16, // physics chunks
-		})
-		p.Alltoallv(lbSizes)
-		p.Barrier()
+		physicsPhase(p, b, cellsPerTask, latsPerTask, threadBoost)
 		if me == 0 {
 			tPhys = p.Now() - mid
 			tPhysA2AV = p.Profile().Seconds[mpi.OpAlltoall] - a2avBefore
+			// Share of the phase, via the profile helper (a phase delta
+			// rather than the cumulative profile).
+			var delta mpi.Profile
+			delta.Seconds[mpi.OpAlltoall] = tPhysA2AV
+			physA2AVShare = delta.Share(mpi.OpAlltoall, tPhys)
 		}
 	})
 	_ = elapsed
@@ -236,7 +230,46 @@ func Run(m machine.Machine, mode machine.Mode, cfg Config, b Benchmark) Result {
 		DynamicsSecPerDay:         dynDay,
 		PhysicsSecPerDay:          physDay,
 		PhysicsAlltoallvSecPerDay: tPhysA2AV * float64(b.PhysicsStepsPerDay),
+		PhysicsAlltoallvShare:     physA2AVShare,
 	}
+}
+
+// physicsPhase runs one physics step: the load-balancing Alltoallv, the
+// per-column compute, the return Alltoallv, and the closing barrier.
+// Shared between Run and RunPhysics so the critical-path experiment
+// analyses exactly the phase the full proxy runs.
+func physicsPhase(p *mpi.P, b Benchmark, cellsPerTask float64, latsPerTask int, threadBoost float64) {
+	me := p.Rank()
+	n := p.Size()
+	lbSizes := make([]int64, n)
+	lbPer := int64(cellsPerTask * 8 / 2 / float64(n)) // rebalance half the columns
+	for i := range lbSizes {
+		if i != me {
+			lbSizes[i] = lbPer
+		}
+	}
+	p.Alltoallv(lbSizes)
+	p.Compute(core.Work{
+		Flops:       cellsPerTask * physFlopsPerCell / threadBoost,
+		FlopEff:     camFlopEff,
+		StreamBytes: cellsPerTask * physBytesPerCell / threadBoost,
+		LoopLen:     latsPerTask * b.NLon / 16, // physics chunks
+	})
+	p.Alltoallv(lbSizes)
+	p.Barrier()
+}
+
+// RunPhysics executes only the physics phase of one step for cfg on a
+// caller-prepared system (for instance one with critical-path recording
+// enabled) and returns the simulated phase seconds. Threading is ignored
+// (the XT4 configurations of interest run one thread per task).
+func RunPhysics(sys *core.System, cfg Config, b Benchmark) float64 {
+	cells := float64(b.NLat) * float64(b.NLon) * float64(b.NLev)
+	cellsPerTask := cells / float64(cfg.Tasks)
+	latsPerTask := b.NLat / cfg.PLat
+	return mpi.Run(sys, mpi.Auto, func(p *mpi.P) {
+		physicsPhase(p, b, cellsPerTask, latsPerTask, 1)
+	})
 }
 
 // BestForProcessors picks the fastest configuration using at most procs

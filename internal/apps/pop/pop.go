@@ -80,6 +80,10 @@ type Result struct {
 	// AllreduceSecPerDay is rank 0's time inside MPI_Allreduce per
 	// simulated day — the §6.2 quantity that bounds POP's scaling.
 	AllreduceSecPerDay float64
+	// AllreduceShare is rank 0's Allreduce fraction of the barotropic
+	// phase wall time (Allreduce only occurs there, so the phase share is
+	// exact); the Figure 19 explanation as a single number.
+	AllreduceShare float64
 }
 
 // decompose splits tasks into a px×py grid matching the domain aspect.
@@ -120,7 +124,7 @@ func Run(m machine.Machine, mode machine.Mode, tasks int, b Benchmark) Result {
 	}
 
 	sys := core.NewSystem(m, mode, tasks)
-	var tBaroclinic, tBarotropic, tAllreduce float64
+	var tBaroclinic, tBarotropic, tAllreduce, allreduceShare float64
 
 	elapsed := mpi.Run(sys, mpi.Auto, func(p *mpi.P) {
 		me := p.Rank()
@@ -161,32 +165,11 @@ func Run(m machine.Machine, mode machine.Mode, tasks int, b Benchmark) Result {
 		mid := p.Now()
 
 		// --- Barotropic phase: CG on the 2-D surface system. ---
-		pts2 := float64(bx) * float64(by)
-		for it := 0; it < simCGIters; it++ {
-			// SpMV + vector ops.
-			p.Compute(core.Work{
-				Flops:       pts2 * barotropicFlopsPerPoint,
-				FlopEff:     baroclinicFlopEff,
-				StreamBytes: pts2 * barotropicBytesPerPoint,
-				LoopLen:     bx,
-			})
-			// Halo of the 2-D operator (1-deep).
-			reqs := []*mpi.Request{
-				p.Isend(east, 5, int64(by)*8), p.Isend(west, 6, int64(by)*8),
-				p.Isend(north, 7, int64(bx)*8), p.Isend(south, 8, int64(bx)*8),
-				p.Irecv(west, 5), p.Irecv(east, 6),
-				p.Irecv(south, 7), p.Irecv(north, 8),
-			}
-			p.Wait(reqs...)
-			// Inner products: the latency-bound Allreduce(s).
-			for rcount := 0; rcount < reductionsPerIter; rcount++ {
-				p.Allreduce(mpi.Sum, 16, nil)
-			}
-		}
-		p.Barrier()
+		barotropicPhase(p, px, py, bx, by, reductionsPerIter)
 		if me == 0 {
 			tBarotropic = p.Now() - mid
 			tAllreduce = p.Profile().Seconds[mpi.OpAllreduce]
+			allreduceShare = p.Profile().Share(mpi.OpAllreduce, tBarotropic)
 		}
 	})
 	_ = elapsed
@@ -203,7 +186,65 @@ func Run(m machine.Machine, mode machine.Mode, tasks int, b Benchmark) Result {
 		BarotropicSecPerDay: barotDay,
 		ReductionsPerIter:   reductionsPerIter,
 		AllreduceSecPerDay:  tAllreduce * float64(b.StepsPerDay) * float64(b.CGItersPerStep) / simCGIters,
+		AllreduceShare:      allreduceShare,
 	}
+}
+
+// barotropicPhase runs the simulated CG slice: simCGIters iterations of
+// SpMV-style compute, a 1-deep 2-D halo exchange, and the latency-bound
+// inner-product Allreduce(s), closed by a barrier. Shared between Run and
+// RunBarotropic so the critical-path experiment analyses exactly the
+// phase the full proxy runs.
+func barotropicPhase(p *mpi.P, px, py, bx, by, reductionsPerIter int) {
+	me := p.Rank()
+	myX := me % px
+	myY := me / px
+	north := wrap(myX, myY+1, px, py)
+	south := wrap(myX, myY-1, px, py)
+	east := wrap(myX+1, myY, px, py)
+	west := wrap(myX-1, myY, px, py)
+
+	pts2 := float64(bx) * float64(by)
+	for it := 0; it < simCGIters; it++ {
+		// SpMV + vector ops.
+		p.Compute(core.Work{
+			Flops:       pts2 * barotropicFlopsPerPoint,
+			FlopEff:     baroclinicFlopEff,
+			StreamBytes: pts2 * barotropicBytesPerPoint,
+			LoopLen:     bx,
+		})
+		// Halo of the 2-D operator (1-deep).
+		reqs := []*mpi.Request{
+			p.Isend(east, 5, int64(by)*8), p.Isend(west, 6, int64(by)*8),
+			p.Isend(north, 7, int64(bx)*8), p.Isend(south, 8, int64(bx)*8),
+			p.Irecv(west, 5), p.Irecv(east, 6),
+			p.Irecv(south, 7), p.Irecv(north, 8),
+		}
+		p.Wait(reqs...)
+		// Inner products: the latency-bound Allreduce(s).
+		for rcount := 0; rcount < reductionsPerIter; rcount++ {
+			p.Allreduce(mpi.Sum, 16, nil)
+		}
+	}
+	p.Barrier()
+}
+
+// RunBarotropic executes only the barotropic CG phase of b on a
+// caller-prepared system (for instance one with critical-path recording
+// enabled) and returns the simulated phase seconds. The decomposition and
+// iteration structure match Run exactly.
+func RunBarotropic(sys *core.System, b Benchmark) float64 {
+	tasks := sys.NumTasks
+	px, py := decompose(tasks, b.NX, b.NY)
+	bx := (b.NX + px - 1) / px
+	by := (b.NY + py - 1) / py
+	reductionsPerIter := 2
+	if b.ChronopoulosGear {
+		reductionsPerIter = 1
+	}
+	return mpi.Run(sys, mpi.Auto, func(p *mpi.P) {
+		barotropicPhase(p, px, py, bx, by, reductionsPerIter)
+	})
 }
 
 func wrap(x, y, px, py int) int {

@@ -92,6 +92,14 @@ func decompose3(tasks int) (px, py, pz int) {
 // Run executes the proxy: one full RK step (six stages of derivative
 // evaluation with ghost exchanges, then the filter pass).
 func Run(m machine.Machine, mode machine.Mode, tasks int, b Benchmark) Result {
+	return RunOn(core.NewSystem(m, mode, tasks), b)
+}
+
+// RunOn executes the proxy on a caller-prepared system (for instance one
+// with telemetry or critical-path recording enabled); machine, mode and
+// task count come from the system.
+func RunOn(sys *core.System, b Benchmark) Result {
+	m, mode, tasks := sys.M, sys.Mode, sys.NumTasks
 	if b.PointsPerEdge < 2*kernels.Filter10Width {
 		panic(fmt.Sprintf("s3d: subdomain edge %d smaller than filter stencil", b.PointsPerEdge))
 	}
@@ -104,7 +112,6 @@ func Run(m machine.Machine, mode machine.Mode, tasks int, b Benchmark) Result {
 	derivBytes := kernels.HaloBytesPerFace(n, n, kernels.Deriv8Width, b.Variables)
 	filterBytes := kernels.HaloBytesPerFace(n, n, kernels.Filter10Width, b.Variables)
 
-	sys := core.NewSystem(m, mode, tasks)
 	elapsed := mpi.Run(sys, mpi.Auto, func(p *mpi.P) {
 		me := p.Rank()
 		mx := me % px

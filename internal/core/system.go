@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"xtsim/internal/critpath"
 	"xtsim/internal/machine"
 	"xtsim/internal/network"
 	"xtsim/internal/sim"
@@ -66,6 +67,10 @@ type System struct {
 	// their collectors; with Tel nil every instrumented hot path pays one
 	// nil check and nothing else.
 	Tel *telemetry.Set
+	// CP is the critical-path recorder, nil until EnableCritPath. Like
+	// Tel, layers that come up afterwards (mpi.NewWorld) check it and
+	// attach; with CP nil the instrumented hot paths pay one nil check.
+	CP *critpath.Recorder
 	// Rng drives noise; owned by the experiment for reproducibility.
 	Rng *rand.Rand
 }
@@ -138,6 +143,33 @@ func (s *System) TelemetryReport() *telemetry.Report {
 	}
 }
 
+// EnableCritPath switches on causal recording for this system: the fabric
+// records happens-before edges now, the MPI runtime records blocked
+// segments when a World is created. Composable with EnableTelemetry.
+// Idempotent; call before creating the MPI world. Returns the system for
+// chaining. The recorder uses critpath.DefaultCap; build a
+// critpath.NewRecorder and assign CP directly to choose another cap.
+func (s *System) EnableCritPath() *System {
+	if s.CP == nil {
+		s.CP = critpath.NewRecorder(s.NumTasks, 0)
+		s.Fabric.EnableCritPath(s.CP)
+	}
+	return s
+}
+
+// CritPathReport walks the recorded causal graph backwards from the
+// current simulated time and returns the critical-path attribution; nil
+// unless EnableCritPath was called. Call after Run completes.
+func (s *System) CritPathReport() *critpath.Report {
+	if s.CP == nil {
+		return nil
+	}
+	return s.CP.Analyze(critpath.AnalyzeOptions{
+		Makespan:  s.Eng.Now(),
+		LinkLabel: s.Fabric.LinkLabel,
+	})
+}
+
 // Place maps a task id to its (node, core).
 func (s *System) Place(task int) (node, coreIdx int) {
 	if task < 0 || task >= s.NumTasks {
@@ -202,6 +234,11 @@ func (s *System) Run(body func(r *Rank)) sim.Time {
 		s.Eng.Spawn(fmt.Sprintf("rank%d", t), func(p *sim.Proc) {
 			r.Proc = p
 			body(r)
+			if s.CP != nil {
+				// The analyzer starts its backward walk at the
+				// latest-finishing rank and counts trailing idle as slack.
+				s.CP.SetFinish(r.ID, p.Now())
+			}
 		})
 	}
 	return s.Eng.Run()

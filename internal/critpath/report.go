@@ -1,0 +1,146 @@
+package critpath
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"xtsim/internal/telemetry"
+)
+
+// Attribution is one category's share of the critical path.
+type Attribution struct {
+	// Category is one of the fixed set: "compute", "mpi_wait",
+	// "queue_wait", "nic_injection", "link_transit".
+	Category string `json:"category"`
+	// Seconds is path time attributed to the category; the five categories
+	// sum to MakespanSeconds (within float addition error).
+	Seconds float64 `json:"seconds"`
+	// Share is Seconds / MakespanSeconds, rounded to 1e-6.
+	Share float64 `json:"share"`
+}
+
+// Contributor is one named entry of a top-k list (an op class, a rank, or
+// a directed link).
+type Contributor struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Share   float64 `json:"share"`
+}
+
+// SlackStats summarises per-rank slack: blocked-on-remote time plus
+// trailing idle — how much a rank could slow before the runtime changes.
+type SlackStats struct {
+	MinRank     int     `json:"min_rank"`
+	MinSeconds  float64 `json:"min_seconds"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	MaxRank     int     `json:"max_rank"`
+	MaxSeconds  float64 `json:"max_seconds"`
+	// Top lists the slackest ranks, seconds-descending.
+	Top []Contributor `json:"top,omitempty"`
+}
+
+// Report is the critical-path export of one simulated run. It holds no
+// maps and every slice is built in a fixed order, so the JSON and text
+// renderings are byte-identical across runs.
+type Report struct {
+	SchemaVersion   int     `json:"schema_version"`
+	MakespanSeconds float64 `json:"makespan_seconds"`
+	Ranks           int     `json:"ranks"`
+	WaitsRecorded   int     `json:"waits_recorded"`
+	EdgesRecorded   int     `json:"edges_recorded"`
+	// Dropped counts records lost to the recorder cap; nonzero means the
+	// attribution may be partially degraded (never silently).
+	Dropped uint64 `json:"dropped"`
+	// PathSteps and PathHops count walk iterations and cross-rank jumps.
+	PathSteps int `json:"path_steps"`
+	PathHops  int `json:"path_hops"`
+	// Attribution splits the path into the five categories, fixed order.
+	Attribution []Attribution `json:"attribution"`
+	// ByClass lists path time per MPI op class (untruncated); ByRank and
+	// ByLink are top-k lists. All are seconds-descending.
+	ByClass []Contributor `json:"by_class,omitempty"`
+	ByRank  []Contributor `json:"by_rank,omitempty"`
+	ByLink  []Contributor `json:"by_link,omitempty"`
+	Slack   *SlackStats   `json:"slack,omitempty"`
+}
+
+// Category returns the named attribution entry (zero value if absent).
+func (r *Report) Category(name string) Attribution {
+	for _, a := range r.Attribution {
+		if a.Category == name {
+			return a
+		}
+	}
+	return Attribution{Category: name}
+}
+
+// Class returns the named op-class contributor (zero value if absent).
+func (r *Report) Class(name string) Contributor {
+	for _, c := range r.ByClass {
+		if c.Name == name {
+			return c
+		}
+	}
+	return Contributor{Name: name}
+}
+
+// AttributionSum is the five categories' total — by construction equal to
+// MakespanSeconds up to float addition error; experiments assert the
+// difference stays under 1e-9 s.
+func (r *Report) AttributionSum() float64 {
+	s := 0.0
+	for _, a := range r.Attribution {
+		s += a.Seconds
+	}
+	return s
+}
+
+// WriteJSON writes the report as indented JSON. encoding/json marshals
+// struct fields in declaration order and the report holds no maps, so the
+// bytes are deterministic.
+func (r *Report) WriteJSON(w io.Writer) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// WriteText writes the human-oriented rendering: the attribution split,
+// the contributor lists, and the slack summary.
+func (r *Report) WriteText(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("critical path: makespan %s s over %d ranks (%d waits, %d edges, %d steps, %d rank hops)\n",
+		telemetry.G(r.MakespanSeconds), r.Ranks, r.WaitsRecorded, r.EdgesRecorded, r.PathSteps, r.PathHops)
+	if r.Dropped > 0 {
+		p("WARNING: %d records dropped at the recorder cap; attribution is degraded\n", r.Dropped)
+	}
+	for _, a := range r.Attribution {
+		p("  %-14s %12.6f ms  %6.2f%%\n", a.Category, a.Seconds*1e3, a.Share*100)
+	}
+	list := func(title string, cs []Contributor) {
+		if len(cs) == 0 {
+			return
+		}
+		p("%s:\n", title)
+		for _, c := range cs {
+			p("  %-16s %12.6f ms  %6.2f%%\n", c.Name, c.Seconds*1e3, c.Share*100)
+		}
+	}
+	list("path time by op class", r.ByClass)
+	list("path time by rank", r.ByRank)
+	list("path queue wait by link", r.ByLink)
+	if s := r.Slack; s != nil {
+		p("slack: min %.6f ms (rank %d), mean %.6f ms, max %.6f ms (rank %d)\n",
+			s.MinSeconds*1e3, s.MinRank, s.MeanSeconds*1e3, s.MaxSeconds*1e3, s.MaxRank)
+	}
+	return err
+}

@@ -152,7 +152,7 @@ func runFig15(res *Result, o Options) error {
 func runFig16(res *Result, o Options) error {
 	b := cam.DGrid()
 	t := res.Table()
-	t.Row("tasks", "XT4-SN dyn", "XT4-SN phys", "XT4-VN dyn", "XT4-VN phys", "p575 dyn", "p575 phys", "[s/day]")
+	t.Row("tasks", "XT4-SN dyn", "XT4-SN phys", "XT4-VN dyn", "XT4-VN phys", "VN a2av/phys", "p575 dyn", "p575 phys", "[s/day]")
 	for _, tasks := range camTaskSweep(o) {
 		cfg, err := cam.Decompose(tasks, b)
 		if err != nil {
@@ -161,7 +161,7 @@ func runFig16(res *Result, o Options) error {
 		sn := cam.Run(machine.XT4(), machine.SN, cfg, b)
 		vn := cam.Run(machine.XT4(), machine.VN, cfg, b)
 		cells := []string{itoa(tasks), f2(sn.DynamicsSecPerDay), f2(sn.PhysicsSecPerDay),
-			f2(vn.DynamicsSecPerDay), f2(vn.PhysicsSecPerDay)}
+			f2(vn.DynamicsSecPerDay), f2(vn.PhysicsSecPerDay), f3(vn.PhysicsAlltoallvShare)}
 		if tasks <= machine.P575().MaxCores() {
 			ibm := cam.Run(machine.P575(), machine.VN, cfg, b)
 			cells = append(cells, f2(ibm.DynamicsSecPerDay), f2(ibm.PhysicsSecPerDay))
@@ -254,7 +254,7 @@ func runFig19(res *Result, o Options) error {
 	bCG := b
 	bCG.ChronopoulosGear = true
 	t := res.Table()
-	t.Row("tasks", "SN baroclinic", "SN barotropic", "VN baroclinic", "VN barotropic", "VN C-G barotropic", "[s/day]")
+	t.Row("tasks", "SN baroclinic", "SN barotropic", "VN baroclinic", "VN barotropic", "VN allred/barot", "VN C-G barotropic", "[s/day]")
 	for _, n := range popTaskSweep(o) {
 		cells := []string{itoa(n)}
 		if n <= machine.XT4().TotalNodes {
@@ -265,7 +265,8 @@ func runFig19(res *Result, o Options) error {
 		}
 		vn := pop.Run(machine.XT4(), machine.VN, n, b)
 		cg := pop.Run(machine.XT4(), machine.VN, n, bCG)
-		cells = append(cells, f2(vn.BaroclinicSecPerDay), f2(vn.BarotropicSecPerDay), f2(cg.BarotropicSecPerDay), "")
+		cells = append(cells, f2(vn.BaroclinicSecPerDay), f2(vn.BarotropicSecPerDay),
+			f3(vn.AllreduceShare), f2(cg.BarotropicSecPerDay), "")
 		t.Row(cells...)
 	}
 	return nil

@@ -146,12 +146,9 @@ func runCongestion(res *Result, o Options) error {
 
 	// Part 4 — the machine-readable export, on request.
 	if o.Telemetry {
-		var js strings.Builder
-		if err := lastRep.WriteJSON(&js); err != nil {
+		if err := res.Attach("telemetry", "VN NIC-sharing run", lastRep.WriteJSON); err != nil {
 			return err
 		}
-		res.Textln("")
-		res.Textf("telemetry export (VN NIC-sharing run):\n%s", js.String())
 	}
 	return nil
 }

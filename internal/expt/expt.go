@@ -70,6 +70,11 @@ type Options struct {
 	// experiment) attach the full JSON export to their output; set by
 	// `xtsim -telemetry`. The summary tables and heatmap appear either way.
 	Telemetry bool `json:"telemetry"`
+	// CritPath makes experiments that record causal event graphs (the
+	// critpath experiment) attach the critical-path JSON exports; set by
+	// `xtsim -critpath`. It composes with Telemetry — both exports can
+	// ride on one run. The attribution tables appear either way.
+	CritPath bool `json:"critpath"`
 }
 
 // Experiment regenerates one artifact of the paper.

@@ -1,6 +1,8 @@
 package expt
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -42,6 +44,39 @@ type Result struct {
 	// SimSeconds accumulates simulated time where the experiment tracks it
 	// (discrete-event runs report their makespan); zero when untracked.
 	SimSeconds float64 `json:"sim_seconds"`
+	// Attachments are machine-readable exports (telemetry or critical-path
+	// JSON documents) attached on request via the -telemetry / -critpath
+	// flags; they render after the blocks and are embedded verbatim in
+	// JSON artifacts.
+	Attachments []Attachment `json:"attachments,omitempty"`
+}
+
+// Attachment is one machine-readable export attached to a result under
+// the documented schema: Kind selects the export family and schema
+// ("telemetry" — EXPERIMENTS.md telemetry schema; "critpath" —
+// EXPERIMENTS.md critical-path schema), Name says which run of the
+// experiment it describes, and JSON is the export document verbatim.
+type Attachment struct {
+	Kind string          `json:"kind"`
+	Name string          `json:"name"`
+	JSON json.RawMessage `json:"json"`
+}
+
+// Attach renders one JSON export through write (a WriteJSON-style method
+// value) and attaches it under (kind, name). This is the shared mechanism
+// behind the opt-in exports; experiments should prefer it over hand-rolled
+// text blocks so `xtsim -json` artifacts carry the document structurally.
+func (r *Result) Attach(kind, name string, write func(io.Writer) error) error {
+	var buf bytes.Buffer
+	if err := write(&buf); err != nil {
+		return err
+	}
+	r.Attachments = append(r.Attachments, Attachment{
+		Kind: kind,
+		Name: name,
+		JSON: json.RawMessage(bytes.TrimRight(buf.Bytes(), "\n")),
+	})
+	return nil
 }
 
 // Table appends a new table block and returns a builder for its rows.
@@ -102,6 +137,11 @@ func (r *Result) Render(w io.Writer) error {
 			return fmt.Errorf("expt: unknown block kind %q in %s", b.Kind, r.ID)
 		}
 	}
+	for _, a := range r.Attachments {
+		if _, err := fmt.Fprintf(w, "\n%s export (%s):\n%s\n", a.Kind, a.Name, a.JSON); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -143,6 +183,9 @@ type Artifact struct {
 	Blocks []Block `json:"blocks"`
 	// SimSeconds is simulated time where tracked (see Result.SimSeconds).
 	SimSeconds float64 `json:"sim_seconds"`
+	// Attachments are the opt-in machine-readable exports (see
+	// Result.Attachments), embedded verbatim.
+	Attachments []Attachment `json:"attachments,omitempty"`
 	// WallSeconds is host wall-clock time for the run; the only
 	// nondeterministic field.
 	WallSeconds float64 `json:"wall_seconds"`

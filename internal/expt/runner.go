@@ -40,6 +40,7 @@ func (s Status) Artifact(opts Options) Artifact {
 	if s.Result != nil {
 		a.Blocks = s.Result.Blocks
 		a.SimSeconds = s.Result.SimSeconds
+		a.Attachments = s.Result.Attachments
 	}
 	if s.Err != nil {
 		a.Error = s.Err.Error()

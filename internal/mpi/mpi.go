@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"xtsim/internal/core"
+	"xtsim/internal/critpath"
 	"xtsim/internal/machine"
 	"xtsim/internal/network"
 	"xtsim/internal/sim"
@@ -82,6 +83,11 @@ type Envelope struct {
 	Tag   int
 	Bytes int64
 	Data  []float64 // nil for size-only messages
+
+	// cause is the critical-path edge id of the delivery that carried this
+	// envelope (0 when recording is off): the receiver's blocked segment
+	// ends with this happens-before edge.
+	cause int32
 }
 
 // World is the runtime shared by all tasks of one system run.
@@ -106,16 +112,27 @@ type World struct {
 	// world was created, in which case the message hot path pays a nil
 	// check and nothing else.
 	tel *telemetry.MPIStats
+
+	// cp is the system's causal recorder; nil unless critical-path
+	// recording was enabled when the world was created, in which case the
+	// blocking paths record waits under the same nil-gate discipline.
+	cp *critpath.Recorder
 }
 
 // NewWorld creates the runtime for sys. If telemetry is enabled on the
 // system (core.System.EnableTelemetry), the world attaches its MPI
-// collector to the system's telemetry set.
+// collector to the system's telemetry set; if critical-path recording is
+// enabled (core.System.EnableCritPath), the world records blocked
+// segments into the system's recorder and labels them with OpClass names.
 func NewWorld(sys *core.System) *World {
 	w := &World{sys: sys}
 	if sys.Tel != nil {
 		w.tel = telemetry.NewMPIStats(opNames(), 0)
 		sys.Tel.MPI = w.tel
+	}
+	if sys.CP != nil {
+		w.cp = sys.CP
+		w.cp.SetClassNames(opNames())
 	}
 	return w
 }
@@ -142,6 +159,10 @@ type syncState struct {
 	acc     []float64
 	shared  []any
 	cond    sim.Condition
+	// edge is the collective's last-arrival happens-before edge, created
+	// by the last arriver when critical-path recording is on (0 otherwise
+	// or when dropped at the recorder cap).
+	edge int32
 }
 
 // P is one task's view of a communicator: the object application code
@@ -287,7 +308,8 @@ func (p *P) isendData(dst, tag int, bytes int64, data []float64) *Request {
 	env := Envelope{Src: p.me, Tag: tag, Bytes: bytes, Data: w.clonePayload(data)}
 	box := p.c.members[dst].slot(p.me).mbox(tag)
 
-	tl := w.sys.Fabric.Deliver(p.task.Now(), p.msg(dstTask, bytes), w.newFlight(box, env))
+	fl := w.newFlight(box, env)
+	tl := w.sys.Fabric.Deliver(p.task.Now(), p.msg(dstTask, bytes), fl)
 	w.SentMsgs++
 	w.SentBytes += uint64(bytes)
 	if w.tel != nil {
@@ -299,6 +321,19 @@ func (p *P) isendData(dst, tag int, bytes int64, data []float64) *Request {
 	}
 
 	req := p.newSendReq()
+	if w.cp != nil {
+		// Stamp the delivery's happens-before edge into the in-flight
+		// envelope (the receiver's wait will end with it) and the send
+		// request (a blocked Wait decomposes into injection queueing +
+		// serialisation). Mutating fl after Deliver is safe: its arrival
+		// event fires later and the engine is single-threaded.
+		eid := w.sys.Fabric.LastCritPathEdge()
+		if eid != 0 {
+			w.cp.Edge(eid).SrcRank = int32(p.task.ID)
+			fl.env.cause = eid
+		}
+		req.edge = eid
+	}
 	w.sys.Eng.AtArrive(tl.Injected, req)
 	return req
 }
@@ -312,7 +347,18 @@ func (p *P) Recv(src, tag int) Envelope {
 	if src < 0 || src >= len(p.c.group) {
 		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", src, len(p.c.group)))
 	}
-	return p.slot(src).mbox(tag).Recv(p.task.Proc)
+	box := p.slot(src).mbox(tag)
+	if cp := p.c.w.cp; cp != nil {
+		// Every blocking receive in the runtime funnels through here
+		// (including the algorithmic collectives' internal p2p), so this
+		// one site records all message-ended waits. curClass is the
+		// enclosing top-level op, matching the Profile attribution rules.
+		t0 := p.task.Now()
+		env := box.Recv(p.task.Proc)
+		cp.AddWait(p.task.ID, t0, p.task.Now(), int(p.curClass), critpath.KindRecv, env.cause)
+		return env
+	}
+	return box.Recv(p.task.Proc)
 }
 
 // Irecv returns a request whose Wait performs the receive; the envelope is
@@ -343,7 +389,11 @@ type Request struct {
 	env      Envelope
 	owner    *P // non-nil for receive requests
 	src, tag int
-	next     *Request // free-list link for pooled send requests
+	// edge is the critical-path edge id of the send's delivery (0 when
+	// recording is off); a Wait blocked on injection attributes its span
+	// through the edge's sender-side components.
+	edge int32
+	next *Request // free-list link for pooled send requests
 }
 
 // Arrive completes a send request when its injection event fires; the
@@ -389,6 +439,13 @@ func (p *P) waitOne(r *Request) {
 		}
 		return
 	}
+	if cp := p.c.w.cp; cp != nil && !r.done {
+		t0 := p.task.Now()
+		for !r.done {
+			r.cond.Await(p.task.Proc)
+		}
+		cp.AddWait(p.task.ID, t0, p.task.Now(), int(p.curClass), critpath.KindSend, r.edge)
+	}
 	for !r.done {
 		r.cond.Await(p.task.Proc)
 	}
@@ -419,13 +476,31 @@ func (p *P) sync() *syncState {
 func (p *P) analytic(cost func() float64) {
 	st := p.sync()
 	st.arrived++
+	cp := p.c.w.cp
+	var entry sim.Time
+	if cp != nil {
+		entry = p.task.Now()
+	}
 	if st.arrived < len(p.c.group) {
 		st.cond.Await(p.task.Proc)
 	} else {
-		st.finish = p.task.Now() + cost()
+		now := p.task.Now()
+		st.finish = now + cost()
+		if cp != nil {
+			// One shared last-arrival edge: every rank's resume depends on
+			// the last arriver entering the collective at the meet time.
+			id, e := cp.StartEdge(critpath.EdgeCollective, now, 0, 0)
+			if e != nil {
+				e.SrcRank = int32(p.task.ID)
+			}
+			st.edge = id
+		}
 		st.cond.Broadcast()
 	}
 	p.task.Proc.WaitUntil(st.finish)
+	if cp != nil {
+		cp.AddWait(p.task.ID, entry, p.task.Now(), int(p.curClass), critpath.KindColl, st.edge)
+	}
 }
 
 func (p *P) useAnalytic() bool {

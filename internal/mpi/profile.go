@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"xtsim/internal/sim"
+	"xtsim/internal/telemetry"
 )
 
 // OpClass categorises MPI operations for time attribution. The paper
@@ -70,6 +71,18 @@ func (p *Profile) Total() float64 {
 		t += s
 	}
 	return t
+}
+
+// Share reports the fraction of wall seconds spent blocked in class,
+// rounded to 1e-6 (the export resolution shared with telemetry). A
+// non-positive wall yields 0, so callers need no guard for empty phases.
+// The phase-split experiments use this instead of re-deriving percentages
+// ad hoc.
+func (p *Profile) Share(class OpClass, wall float64) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return telemetry.Round6(p.Seconds[class] / wall)
 }
 
 // Collective returns time in collective operations only.

@@ -68,6 +68,33 @@ func TestProfileTopLevelP2PCounted(t *testing.T) {
 	})
 }
 
+// TestProfileShare pins the percent-of-wall helper the phase-split
+// experiments rely on: rounding at the shared 1e-6 export resolution, the
+// zero/negative-wall guard, and untouched classes reading 0.
+func TestProfileShare(t *testing.T) {
+	var p Profile
+	p.Seconds[OpAllreduce] = 1.0
+	p.Seconds[OpAlltoall] = 0.25
+
+	for _, tc := range []struct {
+		name  string
+		class OpClass
+		wall  float64
+		want  float64
+	}{
+		{"exact-quarter", OpAlltoall, 1.0, 0.25},
+		{"rounds-to-1e-6", OpAllreduce, 3.0, 0.333333},
+		{"zero-wall", OpAllreduce, 0, 0},
+		{"negative-wall", OpAllreduce, -1, 0},
+		{"empty-class", OpBarrier, 1.0, 0},
+		{"share-above-one-preserved", OpAllreduce, 0.5, 2.0},
+	} {
+		if got := p.Share(tc.class, tc.wall); got != tc.want {
+			t.Errorf("%s: Share(%v, %v) = %v, want %v", tc.name, tc.class, tc.wall, got, tc.want)
+		}
+	}
+}
+
 func TestOpClassStrings(t *testing.T) {
 	seen := map[string]bool{}
 	for op := OpSend; op < numOpClasses; op++ {

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 
+	"xtsim/internal/critpath"
 	"xtsim/internal/machine"
 	"xtsim/internal/sim"
 	"xtsim/internal/telemetry"
@@ -54,6 +55,14 @@ type Fabric struct {
 	// seconds and reservation counts come from the FIFOResources themselves
 	// at report time, so only bytes and waits accumulate here.
 	tel *telemetry.FabricBytes
+
+	// cp is the causal recorder, nil until EnableCritPath — the same
+	// nil-gate idiom as tel. When on, each delivery builds one
+	// happens-before edge whose stage components sum exactly to its
+	// arrive − depart span; lastEdge exposes the most recent edge id so
+	// the MPI layer can stamp it into the matching envelope and request.
+	cp       *critpath.Recorder
+	lastEdge int32
 
 	// freeVN is a free list of VN-mode arrival records, recycled when the
 	// arrival event fires, so the per-message VN receive path allocates
@@ -137,6 +146,16 @@ func (f *Fabric) Deliver(at sim.Time, msg Msg, onArrive sim.Arriver) Timeline {
 		if f.tel != nil {
 			f.tel.Local += msg.Bytes
 		}
+		if f.cp != nil {
+			id, e := f.cp.StartEdge(critpath.EdgeMessage, at, msg.Bytes, 0)
+			if e != nil {
+				// Halved software overheads plus the memcpy: the two
+				// components sum to Arrive − at exactly.
+				e.Overhead = 0.5 * (f.M.NIC.SendOverheadUS + f.M.NIC.RecvOverheadUS) * usToS
+				e.Inject = float64(msg.Bytes) / f.M.NIC.MemcpyBW
+			}
+			f.lastEdge = id
+		}
 		if onArrive != nil {
 			f.Eng.AtArrive(tl.Arrive, onArrive)
 		}
@@ -157,6 +176,7 @@ type vnArrival struct {
 	node  int         // destination node
 	bytes int64       // payload size, for telemetry accounting
 	extra sim.Time    // post-proxy mediation + receive software overhead
+	edge  int32       // critical-path edge id, 0 when recording is off
 	sink  sim.Arriver // caller's callback (may be nil)
 	next  *vnArrival  // free-list link
 }
@@ -172,6 +192,15 @@ func (v *vnArrival) Arrive(tail sim.Time) {
 		f.tel.VNProxyWait[v.node] += start - tail
 	}
 	arr := start + dur + v.extra
+	if v.edge != 0 {
+		// Finish the edge's decomposition with the receive-side proxy
+		// stage, keeping the component sum equal to arr − Depart.
+		e := f.cp.Edge(v.edge)
+		e.InjWait += start - tail
+		e.Inject += dur
+		e.Overhead += v.extra
+		v.edge = 0
+	}
 	v.sink = nil
 	v.next = f.freeVN
 	f.freeVN = v
@@ -226,11 +255,27 @@ func (f *Fabric) deliverRemote(at sim.Time, msg Msg, onArrive sim.Arriver) Timel
 	route := f.routes.LinkIDs(msg.SrcNode, msg.DstNode)
 	hops := len(route)
 
+	// Critical-path edge: each stage below adds its contribution so the
+	// five components sum exactly to the arrival − at span, even though
+	// the stages themselves overlap under cut-through pipelining.
+	var eid int32
+	var e *critpath.Edge
+	if f.cp != nil {
+		eid, e = f.cp.StartEdge(critpath.EdgeMessage, at, msg.Bytes, hops)
+		f.lastEdge = eid
+		if e != nil {
+			e.Overhead += nic.SendOverheadUS * usToS
+		}
+	}
+
 	// Rendezvous protocol: large messages pay a control round-trip before
 	// the payload moves (request-to-send / clear-to-send).
 	if nic.RendezvousThresholdBytes > 0 && msg.Bytes > int64(nic.RendezvousThresholdBytes) {
 		rtt := 2 * (nic.SendOverheadUS*usToS + float64(hops)*link.HopLatencyUS*usToS)
 		t += rtt
+		if e != nil {
+			e.Overhead += rtt
+		}
 	}
 
 	// Virtual-node mode: traffic to or from the non-NIC core is mediated
@@ -238,11 +283,18 @@ func (f *Fabric) deliverRemote(at sim.Time, msg Msg, onArrive sim.Arriver) Timel
 	if msg.Mode == machine.VN && nic.VNProxyUS > 0 {
 		if msg.SrcCore > 0 {
 			t += nic.VNMediationUS * usToS
+			if e != nil {
+				e.Overhead += nic.VNMediationUS * usToS
+			}
 		}
 		start := f.vnProxy[msg.SrcNode].Reserve(t, nic.VNProxyUS*usToS)
 		if f.tel != nil {
 			f.tel.VNProxy[msg.SrcNode] += msg.Bytes
 			f.tel.VNProxyWait[msg.SrcNode] += start - t
+		}
+		if e != nil {
+			e.InjWait += start - t
+			e.Inject += nic.VNProxyUS * usToS
 		}
 		t = start + nic.VNProxyUS*usToS
 	}
@@ -256,6 +308,10 @@ func (f *Fabric) deliverRemote(at sim.Time, msg Msg, onArrive sim.Arriver) Timel
 		f.tel.NICTxWait[msg.SrcNode] += t0 - t
 		f.tel.Hop += msg.Bytes * int64(hops)
 	}
+	if e != nil {
+		e.InjWait += t0 - t
+		e.Inject += injTime
+	}
 
 	// Links along the dimension-ordered route, cut-through pipelined: the
 	// head flit advances one hop latency per link, and each link is
@@ -264,6 +320,7 @@ func (f *Fabric) deliverRemote(at sim.Time, msg Msg, onArrive sim.Arriver) Timel
 	head := t0
 	var lastStart sim.Time = t0
 	lastSer := 0.0
+	linkWaitSum := 0.0
 	tel := f.tel // hoisted: Reserve can't alias it, but the compiler can't tell
 	for _, id := range route {
 		bw := link.BW
@@ -277,6 +334,12 @@ func (f *Fabric) deliverRemote(at sim.Time, msg Msg, onArrive sim.Arriver) Timel
 			tel.Link[id] += msg.Bytes
 			tel.LinkWait[id] += s - req
 		}
+		if e != nil {
+			if wv := s - req; wv > 0 {
+				linkWaitSum += wv
+				f.cp.AddHopWait(eid, int32(id), wv)
+			}
+		}
 		head = s
 		lastStart = s
 		lastSer = linkSer
@@ -289,6 +352,19 @@ func (f *Fabric) deliverRemote(at sim.Time, msg Msg, onArrive sim.Arriver) Timel
 	if lower := t0 + injTime + float64(hops)*link.HopLatencyUS*usToS; lower > tail {
 		tail = lower
 	}
+	if e != nil {
+		// The link phase spans injection-complete → tail. Under pipelining
+		// the per-hop waits overlap serialisation, so cap their sum at the
+		// phase length; the remainder is wire time (latency + pipeline
+		// fill). This keeps LinkWait + Transit exactly equal to the phase.
+		phase := tail - (t0 + injTime)
+		lw := linkWaitSum
+		if lw > phase {
+			lw = phase
+		}
+		e.LinkWait += lw
+		e.Transit += phase - lw
+	}
 
 	// On flat switched fabrics the ejection port is a real bottleneck
 	// (many-to-one patterns); on the torus the final link already
@@ -299,6 +375,9 @@ func (f *Fabric) deliverRemote(at sim.Time, msg Msg, onArrive sim.Arriver) Timel
 		if f.tel != nil {
 			f.tel.NICRx[msg.DstNode] += msg.Bytes
 			f.tel.NICRxWait[msg.DstNode] += s - (tail - ej)
+		}
+		if e != nil {
+			e.LinkWait += s - (tail - ej)
 		}
 		tail = s + ej
 	}
@@ -313,13 +392,19 @@ func (f *Fabric) deliverRemote(at sim.Time, msg Msg, onArrive sim.Arriver) Timel
 			med = nic.VNMediationUS * usToS
 		}
 		// Reserve the handling core when the payload actually arrives, so
-		// contention reflects arrival order.
-		f.Eng.AtArrive(tail, f.newVNArrival(msg.DstNode, msg.Bytes, med+recvOv, onArrive))
+		// contention reflects arrival order. The critical-path edge is
+		// finished there too (receive-proxy queueing isn't known yet).
+		v := f.newVNArrival(msg.DstNode, msg.Bytes, med+recvOv, onArrive)
+		v.edge = eid
+		f.Eng.AtArrive(tail, v)
 		// The returned timeline carries the uncontended estimate; the
 		// authoritative arrival is the onArrive callback's timestamp.
 		return Timeline{Depart: at, Injected: injected, Arrive: tail + dur + med + recvOv}
 	}
 	arrive := tail + recvOv
+	if e != nil {
+		e.Overhead += recvOv
+	}
 	if onArrive != nil {
 		f.Eng.AtArrive(arrive, onArrive)
 	}
@@ -387,6 +472,25 @@ func (f *Fabric) EnableTelemetry() *telemetry.FabricBytes {
 
 // TelemetryEnabled reports whether EnableTelemetry has been called.
 func (f *Fabric) TelemetryEnabled() bool { return f.tel != nil }
+
+// EnableCritPath installs the causal recorder (nil-gated, like tel); each
+// delivery then records a happens-before edge with per-stage time
+// components and per-hop link queue waits. Call before the traffic of
+// interest.
+func (f *Fabric) EnableCritPath(rec *critpath.Recorder) { f.cp = rec }
+
+// CritPathEnabled reports whether EnableCritPath has been called.
+func (f *Fabric) CritPathEnabled() bool { return f.cp != nil }
+
+// LastCritPathEdge returns the edge id recorded by the most recent Deliver
+// call, or 0 when recording is off or the edge was dropped at the cap.
+// The MPI layer reads it right after Deliver to stamp the edge into the
+// matching envelope (single-threaded event execution makes this safe).
+func (f *Fabric) LastCritPathEdge() int32 { return f.lastEdge }
+
+// LinkLabel names a directed link from its dense id ("node 12 +X"); shared
+// by the telemetry and critical-path reports.
+func (f *Fabric) LinkLabel(id int) string { return f.linkLabel(id) }
 
 // linkLabel names a directed link from its dense id ("node 12 +X").
 func (f *Fabric) linkLabel(id int) string {

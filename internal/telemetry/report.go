@@ -107,9 +107,13 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	return err
 }
 
-// g formats a float the way the Prometheus text rendering needs: shortest
-// round-trip representation, deterministic for a deterministic value.
-func g(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+// G formats a float the way deterministic text exports need: shortest
+// round-trip representation, identical bytes for an identical value.
+// Shared with the critical-path export.
+func G(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// g is G's historical internal name.
+func g(v float64) string { return G(v) }
 
 // WriteProm writes the report as Prometheus-style text exposition: one
 // sample per line, emitted in a fixed program order (classes, then

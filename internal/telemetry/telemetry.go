@@ -154,8 +154,12 @@ func (a *ClassAgg) Summary() ClassSummary {
 	return s
 }
 
-// roundUtil fixes utilization fractions to 1e-6 resolution so exported
-// values are compact and their formatting is stable.
-func roundUtil(v float64) float64 {
+// Round6 fixes fractions (utilizations, shares) to 1e-6 resolution so
+// exported values are compact and their formatting is stable. Shared by
+// the telemetry, MPI-profile and critical-path exports.
+func Round6(v float64) float64 {
 	return float64(int64(v*1e6+0.5)) / 1e6
 }
+
+// roundUtil is Round6's historical internal name.
+func roundUtil(v float64) float64 { return Round6(v) }

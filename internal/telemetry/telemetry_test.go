@@ -171,6 +171,81 @@ func TestCheckConservation(t *testing.T) {
 	}
 }
 
+// TestCheckConservationNamesViolatedInvariant pins the diagnostic quality
+// of each failure path: the error must name the violated invariant and
+// carry the mismatched figures, because CheckConservation is what turns a
+// missing instrumentation point into an actionable message rather than a
+// bare "inconsistent".
+func TestCheckConservationNamesViolatedInvariant(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		rep   FabricReport
+		frags []string
+	}{
+		{
+			// nic_tx says 81 but delivered-minus-local implies 80.
+			name: "nic-vs-delivered",
+			rep: FabricReport{
+				BytesDelivered: 100, LocalBytes: 20, HopBytes: 240,
+				Classes: []ClassSummary{
+					{Class: "link", Bytes: 240},
+					{Class: "nic_tx", Bytes: 81},
+				},
+			},
+			frags: []string{"NIC-tx 81", "local 20", "fabric delivered 100"},
+		},
+		{
+			// A missing nic_tx class entirely is the same invariant: the
+			// zero-summary fallback must not mask the hole.
+			name: "nic-class-missing",
+			rep: FabricReport{
+				BytesDelivered: 100, LocalBytes: 20, HopBytes: 240,
+				Classes: []ClassSummary{
+					{Class: "link", Bytes: 240},
+				},
+			},
+			frags: []string{"NIC-tx 0", "fabric delivered 100"},
+		},
+		{
+			// Per-link counters short by one byte against Σ bytes×hops.
+			name: "link-vs-hopbytes",
+			rep: FabricReport{
+				BytesDelivered: 100, LocalBytes: 20, HopBytes: 240,
+				Classes: []ClassSummary{
+					{Class: "link", Bytes: 239},
+					{Class: "nic_tx", Bytes: 80},
+				},
+			},
+			frags: []string{"per-link bytes sum to 239", "hop-weighted delivered bytes are 240"},
+		},
+		{
+			// Both invariants broken: the NIC one reports first (the checks
+			// run in declaration order, so the error is deterministic).
+			name: "both-broken-nic-first",
+			rep: FabricReport{
+				BytesDelivered: 100, LocalBytes: 0, HopBytes: 240,
+				Classes: []ClassSummary{
+					{Class: "link", Bytes: 0},
+					{Class: "nic_tx", Bytes: 0},
+				},
+			},
+			frags: []string{"NIC-tx 0", "fabric delivered 100"},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.rep.CheckConservation()
+			if err == nil {
+				t.Fatal("inconsistent snapshot passed the conservation check")
+			}
+			for _, frag := range tc.frags {
+				if !strings.Contains(err.Error(), frag) {
+					t.Errorf("error %q does not name %q", err, frag)
+				}
+			}
+		})
+	}
+}
+
 // buildReport assembles a fixed small report; used to pin determinism.
 func buildReport() *Report {
 	m := NewMPIStats([]string{"Send", "Allreduce"}, 1e-4)
