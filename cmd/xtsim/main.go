@@ -12,23 +12,34 @@
 //	xtsim -run fig17 -timeout 5m     bound each experiment's wall time
 //	xtsim -run congestion -telemetry include the telemetry JSON export
 //	xtsim -run critpath -critpath    include the critical-path JSON exports
+//	xtsim -serve 127.0.0.1:8973      run as a campaign server (see API.md)
 //
 // Rendered tables go to stdout in registration (paper) order regardless of
 // -jobs; timing/progress lines and the failure summary go to stderr. With
 // -run all a failing experiment no longer aborts the campaign: the rest
 // still run, failures are summarized at the end, and the exit code is 1.
+//
+// With -serve the process becomes a long-running HTTP/JSON campaign
+// service instead of a one-shot CLI: campaigns are submitted per request,
+// results are memoized in an LRU keyed by (experiment, options, code
+// version), and a bounded admission queue sheds load with 429 when full.
+// -jobs and -timeout keep their meanings (within-campaign worker pool,
+// per-experiment wall-clock bound); -cache and -queue size the memo cache
+// and the admission queue. API.md is the endpoint reference.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
 	"time"
 
 	"xtsim/internal/expt"
+	"xtsim/internal/serve"
 )
 
 func main() {
@@ -40,7 +51,27 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-experiment wall-clock timeout (0 = none)")
 	tel := flag.Bool("telemetry", false, "attach the telemetry JSON export to experiments that collect it (e.g. congestion)")
 	cp := flag.Bool("critpath", false, "attach the critical-path JSON exports to experiments that record causal graphs (e.g. critpath)")
+	serveAddr := flag.String("serve", "", "run as a campaign server on this address (e.g. 127.0.0.1:8973); see API.md")
+	cacheN := flag.Int("cache", 512, "with -serve: max memoized experiment results held in the LRU cache")
+	queueN := flag.Int("queue", 16, "with -serve: max queued campaigns before submissions get 429")
 	flag.Parse()
+
+	if *serveAddr != "" {
+		srv := serve.New(serve.Config{
+			CacheEntries: *cacheN,
+			QueueDepth:   *queueN,
+			ExptJobs:     *jobs,
+			Timeout:      *timeout,
+		})
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "xtsim: serving campaigns on http://%s/api/v1 (cache %d entries, queue %d, %d jobs/campaign)\n",
+			*serveAddr, *cacheN, *queueN, *jobs)
+		if err := http.ListenAndServe(*serveAddr, srv.Handler()); err != nil {
+			fmt.Fprintln(os.Stderr, "xtsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var exps []expt.Experiment
 	switch {

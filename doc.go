@@ -17,8 +17,8 @@
 // The layers build on each other, simulator core to paper artifacts:
 //
 //	sim ──► core ──► mpi ──► hpcc ─┐
-//	 │        │        │           ├──► expt ──► cmd/xtsim
-//	 │        │        └──► apps ──┘
+//	 │        │        │           ├──► expt ──┬──► cmd/xtsim
+//	 │        │        └──► apps ──┘           └──► serve ──► cmd/xtsim -serve
 //	 │        └◄── machine, torus, network
 //	 └──► lustre, trace
 //
@@ -40,9 +40,16 @@
 //     AORSA — Figures 14-23). internal/lustre models the filesystem.
 //   - internal/expt is the campaign layer: one registered Experiment per
 //     table/figure/ablation, each producing a structured Result, plus the
-//     concurrent Runner with deterministic ordered output and JSON
-//     artifact export.
-//   - cmd/xtsim is the campaign CLI (-run, -jobs, -json, -timeout).
+//     concurrent Runner with deterministic ordered output, a
+//     completion-order streaming callback, stable result cache keys, and
+//     JSON artifact export.
+//   - internal/serve wraps the campaign layer in a long-running HTTP/JSON
+//     service: memoized results (LRU keyed by experiment/options/code
+//     version — exact because runs are deterministic), a bounded
+//     admission queue with 429 backpressure, and per-job progress
+//     streams. API.md is the endpoint reference.
+//   - cmd/xtsim is the campaign CLI (-run, -jobs, -json, -timeout) and,
+//     with -serve, the campaign server (-cache, -queue).
 //
 // The common path is three calls:
 //

@@ -1,0 +1,57 @@
+package expt
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestCanonicalCoversAllOptionFields pins the Options field count: anyone
+// adding a field must extend Canonical (and this count), or two
+// differently-configured runs would share a cache key.
+func TestCanonicalCoversAllOptionFields(t *testing.T) {
+	const covered = 3 // short, telemetry, critpath
+	if n := reflect.TypeOf(Options{}).NumField(); n != covered {
+		t.Fatalf("Options has %d fields but Canonical renders %d; update Options.Canonical and CacheKey docs, then this count", n, covered)
+	}
+	c := Options{Short: true, Telemetry: true, CritPath: true}.Canonical()
+	for _, want := range []string{"short=true", "telemetry=true", "critpath=true"} {
+		if !strings.Contains(c, want) {
+			t.Errorf("Canonical() = %q missing %q", c, want)
+		}
+	}
+}
+
+func TestCacheKeyStableAndSensitive(t *testing.T) {
+	base := CacheKey("fig8", Options{Short: true}, "v1")
+	if base != CacheKey("fig8", Options{Short: true}, "v1") {
+		t.Fatal("CacheKey is not stable for identical inputs")
+	}
+	if len(base) != 64 {
+		t.Fatalf("CacheKey length = %d, want 64 hex chars", len(base))
+	}
+	variants := map[string]string{
+		"id":        CacheKey("fig9", Options{Short: true}, "v1"),
+		"short":     CacheKey("fig8", Options{}, "v1"),
+		"telemetry": CacheKey("fig8", Options{Short: true, Telemetry: true}, "v1"),
+		"critpath":  CacheKey("fig8", Options{Short: true, CritPath: true}, "v1"),
+		"version":   CacheKey("fig8", Options{Short: true}, "v2"),
+	}
+	seen := map[string]string{base: "base"}
+	for name, key := range variants {
+		if prev, dup := seen[key]; dup {
+			t.Errorf("changing %s collides with %s: key %s", name, prev, key)
+		}
+		seen[key] = name
+	}
+}
+
+func TestCodeVersionConstantWithinProcess(t *testing.T) {
+	v := CodeVersion()
+	if v == "" {
+		t.Fatal("CodeVersion is empty")
+	}
+	if v != CodeVersion() {
+		t.Fatal("CodeVersion changed between calls")
+	}
+}

@@ -73,6 +73,15 @@ type Runner struct {
 	// Progress, when non-nil, receives one unordered line per completed
 	// experiment with wall/simulated-time metrics, plus panic stacks.
 	Progress io.Writer
+	// OnComplete, when non-nil, is called once per experiment in
+	// completion order — the order results become final, not input order —
+	// with the experiment's input index and its final Status. Calls are
+	// serialized (never concurrent with each other or with Progress
+	// writes) and happen before the campaign's ordered rendering reaches
+	// the experiment, so a long-lived embedder (the -serve campaign
+	// server) can stream per-job progress and memoize results without
+	// waiting for, or re-rendering, the ordered Output stream.
+	OnComplete func(index int, s Status)
 
 	progressMu sync.Mutex
 }
@@ -103,7 +112,7 @@ func (r *Runner) Run(exps []Experiment) []Status {
 			defer wg.Done()
 			for i := range work {
 				statuses[i] = r.runOne(exps[i])
-				r.reportProgress(&statuses[i])
+				r.complete(i, &statuses[i])
 				close(done[i])
 			}
 		}()
@@ -174,31 +183,60 @@ func (r *Runner) runOne(e Experiment) Status {
 	return st
 }
 
-// render writes one experiment's banner and blocks to Output. Error text
-// is deterministic campaign output (a failing experiment fails the same
-// way at any worker count), so it renders too.
+// Render writes the status exactly as a campaign renders it: the
+// experiment banner, the result blocks, the failure line for an
+// unsuccessful run, and a trailing blank line. Error text is deterministic
+// campaign output (a failing experiment fails the same way at any worker
+// count), so it renders too. Concatenating per-status renderings in input
+// order reproduces the campaign's Output stream byte for byte — the
+// contract the -serve result cache is built on.
+func (s *Status) Render(w io.Writer) error {
+	if _, err := io.WriteString(w, s.Experiment.Header()); err != nil {
+		return err
+	}
+	if s.Result != nil {
+		if err := s.Result.Render(w); err != nil {
+			return err
+		}
+	}
+	if s.Err != nil {
+		if _, err := fmt.Fprintf(w, "-- %s FAILED: %v --\n", s.Experiment.ID, s.Err); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// render writes one experiment's banner and blocks to Output.
 func (r *Runner) render(s *Status) {
 	if r.Output == nil {
 		return
 	}
-	io.WriteString(r.Output, s.Experiment.Header())
-	if s.Result != nil {
-		s.Result.Render(r.Output)
-	}
-	if s.Err != nil {
-		fmt.Fprintf(r.Output, "-- %s FAILED: %v --\n", s.Experiment.ID, s.Err)
-	}
-	io.WriteString(r.Output, "\n")
+	s.Render(r.Output)
 }
 
-// reportProgress emits the completion-order metrics line (and any panic
-// stack) for one experiment.
-func (r *Runner) reportProgress(s *Status) {
-	if r.Progress == nil {
+// complete runs the completion-order callbacks for one finished
+// experiment: OnComplete, then the Progress metrics line. Both are
+// serialized under one mutex.
+func (r *Runner) complete(i int, s *Status) {
+	if r.OnComplete == nil && r.Progress == nil {
 		return
 	}
 	r.progressMu.Lock()
 	defer r.progressMu.Unlock()
+	if r.OnComplete != nil {
+		r.OnComplete(i, *s)
+	}
+	r.reportProgress(s)
+}
+
+// reportProgress emits the completion-order metrics line (and any panic
+// stack) for one experiment. Callers hold progressMu.
+func (r *Runner) reportProgress(s *Status) {
+	if r.Progress == nil {
+		return
+	}
 	switch {
 	case s.Err != nil:
 		fmt.Fprintf(r.Progress, "-- %s FAILED after %v: %v --\n",

@@ -164,6 +164,79 @@ func TestRunnerErrorDoesNotStopCampaign(t *testing.T) {
 	}
 }
 
+// TestRunnerOnCompleteStreamsCompletionOrder pins the streaming contract
+// the -serve campaign server depends on: OnComplete fires exactly once
+// per experiment, in completion order (not input order), with the input
+// index and the final Status — while Output still renders in input order,
+// and concatenating per-status Render calls in input order reproduces the
+// Output bytes exactly. Completion order is forced, not timed: gated
+// experiments are released in the order 2, 0, 1.
+func TestRunnerOnCompleteStreamsCompletionOrder(t *testing.T) {
+	const n = 3
+	gates := make([]chan struct{}, n)
+	started := make(chan int, n)
+	exps := make([]Experiment, n)
+	for i := range exps {
+		i := i
+		gates[i] = make(chan struct{})
+		exps[i] = Experiment{
+			ID:       fmt.Sprintf("gated%d", i),
+			Artifact: "Fake",
+			Title:    fmt.Sprintf("gated experiment %d", i),
+			Run: func(res *Result, _ Options) error {
+				started <- i
+				<-gates[i]
+				res.Textf("gated%d ran\n", i)
+				return nil
+			},
+		}
+	}
+
+	type completion struct {
+		idx int
+		s   Status
+	}
+	completions := make(chan completion, n)
+	var out bytes.Buffer
+	r := &Runner{Jobs: n, Output: &out, OnComplete: func(i int, s Status) {
+		completions <- completion{i, s}
+	}}
+	statusCh := make(chan []Status, 1)
+	go func() { statusCh <- r.Run(exps) }()
+
+	for i := 0; i < n; i++ {
+		<-started // all experiments in flight before any gate opens
+	}
+	for _, want := range []int{2, 0, 1} {
+		close(gates[want])
+		got := <-completions
+		if got.idx != want {
+			t.Fatalf("OnComplete fired for index %d, want %d (completion order)", got.idx, want)
+		}
+		if got.s.Err != nil || got.s.Result == nil {
+			t.Fatalf("OnComplete status for %d not final: err=%v result=%v", want, got.s.Err, got.s.Result)
+		}
+		if got.s.Experiment.ID != exps[want].ID {
+			t.Fatalf("OnComplete status names %s, want %s", got.s.Experiment.ID, exps[want].ID)
+		}
+	}
+
+	statuses := <-statusCh
+	var rerender bytes.Buffer
+	for i := range statuses {
+		if err := statuses[i].Render(&rerender); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rerender.String() != out.String() {
+		t.Fatalf("input-order Status.Render differs from campaign Output:\n--- rendered ---\n%s\n--- output ---\n%s",
+			rerender.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "gated0 ran") {
+		t.Fatal("output missing experiment body")
+	}
+}
+
 func TestArtifactRoundTrip(t *testing.T) {
 	e, err := ByID("table1")
 	if err != nil {

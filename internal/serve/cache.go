@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// entry is one memoized experiment result: the rendered text and the JSON
+// artifact bytes exactly as first produced, plus whether the run failed.
+// A cache hit replays these stored bytes verbatim — combined with the
+// simulator's determinism (same CacheKey ⇒ same bytes), that is what makes
+// a hit byte-identical to the miss that filled it, including the
+// wall-clock metadata frozen at fill time.
+type entry struct {
+	key      string
+	text     []byte // Status.Render output: banner + blocks + failure line
+	artifact []byte // expt.Artifact, compact JSON
+	failed   bool
+}
+
+func (e *entry) size() int64 { return int64(len(e.text) + len(e.artifact)) }
+
+// cache is a thread-safe LRU over memoized experiment results, keyed by
+// expt.CacheKey (experiment id, canonical options, code version). Memory
+// is bounded by the entry capacity: inserting past it evicts the least
+// recently used entry. Failed runs are cached too — a deterministic
+// failure repeats identically, so re-simulating it buys nothing.
+type cache struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // of *entry; front = most recently used
+	index     map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	bytes     int64
+}
+
+func newCache(capacity int) *cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &cache{
+		capacity: capacity,
+		ll:       list.New(),
+		index:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the entry for key, promoting it to most recently used, and
+// counts the hit or miss.
+func (c *cache) get(key string) (*entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry), true
+}
+
+// put inserts (or refreshes) an entry and evicts past capacity. Concurrent
+// fills of the same key are allowed — determinism makes the entries
+// byte-identical, so last-write-wins loses nothing.
+func (c *cache) put(e *entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[e.key]; ok {
+		c.bytes += e.size() - el.Value.(*entry).size()
+		el.Value = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.index[e.key] = c.ll.PushFront(e)
+	c.bytes += e.size()
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		victim := oldest.Value.(*entry)
+		c.ll.Remove(oldest)
+		delete(c.index, victim.key)
+		c.bytes -= victim.size()
+		c.evictions++
+	}
+}
+
+// CacheStats is the cache section of the metrics endpoint.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+	Bytes     int64  `json:"bytes"`
+}
+
+func (c *cache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Capacity:  c.capacity,
+		Bytes:     c.bytes,
+	}
+}

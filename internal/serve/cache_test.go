@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ent(key, text string) *entry {
+	return &entry{key: key, text: []byte(text), artifact: []byte("{}")}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(2)
+	c.put(ent("a", "A"))
+	c.put(ent("b", "B"))
+	if _, ok := c.get("a"); !ok { // promotes a to most recent
+		t.Fatal("a should be cached")
+	}
+	c.put(ent("c", "C")) // capacity 2: evicts b (least recently used), not a
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted as least recently used")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a was promoted by get and must survive the eviction")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c was just inserted and must be cached")
+	}
+	st := c.stats()
+	if st.Entries != 2 || st.Capacity != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 2 entries / capacity 2 / 1 eviction", st)
+	}
+	// hits: a, a, c; misses: b (pre-insert gets count too: a hit before c)
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 3 hits / 1 miss", st)
+	}
+}
+
+func TestCacheRefreshSameKey(t *testing.T) {
+	c := newCache(2)
+	c.put(ent("a", "old"))
+	c.put(ent("a", "newer"))
+	e, ok := c.get("a")
+	if !ok || string(e.text) != "newer" {
+		t.Fatalf("refresh should replace in place, got %q ok=%v", e.text, ok)
+	}
+	if st := c.stats(); st.Entries != 1 || st.Evictions != 0 {
+		t.Fatalf("refresh must not grow or evict: %+v", st)
+	}
+}
+
+func TestCacheBytesAccounting(t *testing.T) {
+	c := newCache(8)
+	c.put(ent("a", "1234")) // 4 text + 2 artifact
+	c.put(ent("b", "12"))   // 2 text + 2 artifact
+	if st := c.stats(); st.Bytes != 10 {
+		t.Fatalf("bytes = %d, want 10", st.Bytes)
+	}
+	c.put(ent("a", "12")) // refresh shrinks a by 2
+	if st := c.stats(); st.Bytes != 8 {
+		t.Fatalf("bytes after refresh = %d, want 8", st.Bytes)
+	}
+}
+
+func TestCacheCapacityBound(t *testing.T) {
+	c := newCache(4)
+	for i := 0; i < 100; i++ {
+		c.put(ent(fmt.Sprintf("k%d", i), "x"))
+	}
+	if st := c.stats(); st.Entries != 4 || st.Evictions != 96 {
+		t.Fatalf("stats = %+v, want entries pinned at 4 with 96 evictions", st)
+	}
+}

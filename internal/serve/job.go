@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"xtsim/internal/expt"
+)
+
+// JobState is the lifecycle of a submitted campaign: admitted to the
+// bounded queue, executing, finished. There is no "rejected" state —
+// rejected campaigns are never given a job id (they exist only as a 429
+// response and a counter).
+type JobState string
+
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+)
+
+// Event is one entry on a job's progress stream, delivered over the
+// events endpoint as server-sent events and retained for replay: a late
+// subscriber sees the full history. Seq numbers are per job, dense, and
+// start at 1.
+type Event struct {
+	Seq  int    `json:"seq"`
+	Type string `json:"type"` // "queued" | "started" | "experiment" | "done"
+	// Experiment, on "experiment" events, is the finished experiment's id.
+	Experiment string `json:"experiment,omitempty"`
+	// Cached reports whether the experiment was served from the memo
+	// cache (true) or simulated (false/absent).
+	Cached bool `json:"cached,omitempty"`
+	// Error carries the experiment failure (or, on "done", a summary) for
+	// unsuccessful runs.
+	Error string `json:"error,omitempty"`
+	// WallMS is host wall-clock milliseconds spent simulating; zero for
+	// cache hits. Informational — it is the stream's one
+	// nondeterministic field.
+	WallMS float64 `json:"wall_ms,omitempty"`
+}
+
+// Job is one admitted campaign: the experiments to run, the options they
+// run at, and everything the API can be asked about it afterwards.
+type Job struct {
+	id   string
+	exps []expt.Experiment
+	opts expt.Options
+	keys []string // cache key per experiment, aligned with exps
+
+	mu     sync.Mutex
+	cond   *sync.Cond // broadcast on every events append and state change
+	state  JobState
+	events []Event
+	// per-experiment completion tallies
+	doneExps   int
+	cachedExps int
+	failedExps int
+	// assembled results, set exactly once when state becomes JobDone
+	text      []byte   // request-order concatenation of per-experiment renderings
+	artifacts [][]byte // request-order per-experiment Artifact JSON
+	done      chan struct{}
+}
+
+func newJob(id string, exps []expt.Experiment, opts expt.Options, version string) *Job {
+	j := &Job{
+		id:    id,
+		exps:  exps,
+		opts:  opts,
+		keys:  make([]string, len(exps)),
+		state: JobQueued,
+		done:  make(chan struct{}),
+	}
+	j.cond = sync.NewCond(&j.mu)
+	for i, e := range exps {
+		j.keys[i] = expt.CacheKey(e.ID, opts, version)
+	}
+	j.appendEvent(Event{Type: "queued"})
+	return j
+}
+
+// appendEvent stamps the next sequence number on ev, retains it, and wakes
+// every stream subscriber.
+func (j *Job) appendEvent(ev Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ev.Seq = len(j.events) + 1
+	j.events = append(j.events, ev)
+	j.cond.Broadcast()
+}
+
+func (j *Job) setState(s JobState) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+	j.cond.Broadcast()
+}
+
+// finishExp tallies one completed experiment and emits its progress event.
+func (j *Job) finishExp(id string, cached, failed bool, wall time.Duration, errText string) {
+	j.mu.Lock()
+	j.doneExps++
+	if cached {
+		j.cachedExps++
+	}
+	if failed {
+		j.failedExps++
+	}
+	j.mu.Unlock()
+	j.appendEvent(Event{
+		Type:       "experiment",
+		Experiment: id,
+		Cached:     cached,
+		Error:      errText,
+		WallMS:     float64(wall) / float64(time.Millisecond),
+	})
+}
+
+// complete assembles the final response bodies, flips the job to JobDone,
+// emits the terminal event, and releases every waiter.
+func (j *Job) complete(text []byte, artifacts [][]byte, errText string) {
+	j.mu.Lock()
+	j.text = text
+	j.artifacts = artifacts
+	j.state = JobDone
+	j.mu.Unlock()
+	j.appendEvent(Event{Type: "done", Error: errText})
+	close(j.done)
+}
+
+// JobView is the job-status JSON document.
+type JobView struct {
+	ID          string       `json:"id"`
+	State       JobState     `json:"state"`
+	Experiments []string     `json:"experiments"`
+	Options     expt.Options `json:"options"`
+	// Progress tallies: experiments finished so far, how many of those
+	// came from the cache, and how many failed.
+	ExperimentsDone   int `json:"experiments_done"`
+	ExperimentsCached int `json:"experiments_cached"`
+	ExperimentsFailed int `json:"experiments_failed"`
+	// Navigation: EventsURL streams progress any time; ResultURL is set
+	// once the job is done.
+	EventsURL string `json:"events_url"`
+	ResultURL string `json:"result_url,omitempty"`
+}
+
+func (j *Job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ids := make([]string, len(j.exps))
+	for i, e := range j.exps {
+		ids[i] = e.ID
+	}
+	v := JobView{
+		ID:                j.id,
+		State:             j.state,
+		Experiments:       ids,
+		Options:           j.opts,
+		ExperimentsDone:   j.doneExps,
+		ExperimentsCached: j.cachedExps,
+		ExperimentsFailed: j.failedExps,
+		EventsURL:         "/api/v1/jobs/" + j.id + "/events",
+	}
+	if j.state == JobDone {
+		v.ResultURL = "/api/v1/jobs/" + j.id + "/result"
+	}
+	return v
+}
+
+// store holds every admitted job by id and the admission counters. Job ids
+// are sequential ("job-000001", …) and only ever assigned to admitted
+// campaigns, so ids are dense — convenient for scripted clients and the
+// documented curl examples.
+type store struct {
+	mu        sync.Mutex
+	seq       int
+	jobs      map[string]*Job
+	submitted uint64
+	completed uint64
+	failed    uint64 // completed jobs with ≥1 failed experiment
+	rejected  uint64
+}
+
+func newStore() *store {
+	return &store{jobs: make(map[string]*Job)}
+}
+
+func (s *store) get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// JobStats is the jobs section of the metrics endpoint.
+type JobStats struct {
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Rejected  uint64 `json:"rejected"`
+}
+
+func (s *store) stats() JobStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return JobStats{
+		Submitted: s.submitted,
+		Completed: s.completed,
+		Failed:    s.failed,
+		Rejected:  s.rejected,
+	}
+}
