@@ -19,11 +19,15 @@ import (
 // tests; the bench measures the cost of regenerating the artifact).
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	benchExperimentOpts(b, id, expt.Options{Short: true})
+}
+
+func benchExperimentOpts(b *testing.B, id string, opts expt.Options) {
+	b.Helper()
 	e, err := expt.ByID(id)
 	if err != nil {
 		b.Fatal(err)
 	}
-	opts := expt.Options{Short: true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.Execute(opts); err != nil {
@@ -56,6 +60,28 @@ func BenchmarkFig20NAMDXT(b *testing.B)           { benchExperiment(b, "fig20") 
 func BenchmarkFig21NAMDModes(b *testing.B)        { benchExperiment(b, "fig21") }
 func BenchmarkFig22S3D(b *testing.B)              { benchExperiment(b, "fig22") }
 func BenchmarkFig23AORSA(b *testing.B)            { benchExperiment(b, "fig23") }
+// Sharded variants (PR 7): the same experiments with -shards 4 — sweep
+// cells fan out over the worker pool and SN nearest-neighbour runs use the
+// sharded discrete-event scheduler. Output is byte-identical to the serial
+// benches above (pinned by internal/expt's equivalence tests); the snapshot
+// delta between the pairs is the wall-clock speedup.
+func BenchmarkFig9MPIFFTShards4(b *testing.B) {
+	benchExperimentOpts(b, "fig9", expt.Options{Short: true, Shards: 4})
+}
+func BenchmarkFig11MPIRAShards4(b *testing.B) {
+	benchExperimentOpts(b, "fig11", expt.Options{Short: true, Shards: 4})
+}
+
+// BenchmarkExtParallelS3D regenerates the ext-parallel artifact (serial +
+// 2-domain + 4-domain S3D runs); with shards=4 the three cells themselves
+// run concurrently on the worker pool.
+func BenchmarkExtParallelS3D(b *testing.B) {
+	benchExperiment(b, "ext-parallel")
+}
+func BenchmarkExtParallelS3DShards4(b *testing.B) {
+	benchExperimentOpts(b, "ext-parallel", expt.Options{Short: true, Shards: 4})
+}
+
 func BenchmarkAblationVNMediation(b *testing.B)   { benchExperiment(b, "ablation-vn") }
 func BenchmarkAblationCollectives(b *testing.B)   { benchExperiment(b, "ablation-coll") }
 func BenchmarkAblationMemoryModel(b *testing.B)   { benchExperiment(b, "ablation-mem") }

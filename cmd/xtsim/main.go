@@ -51,6 +51,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-experiment wall-clock timeout (0 = none)")
 	tel := flag.Bool("telemetry", false, "attach the telemetry JSON export to experiments that collect it (e.g. congestion)")
 	cp := flag.Bool("critpath", false, "attach the critical-path JSON exports to experiments that record causal graphs (e.g. critpath)")
+	shards := flag.Int("shards", 0, "parallelism inside experiments: sweep cells on a worker pool and SN nearest-neighbour runs on the sharded scheduler (output is byte-identical to serial)")
 	serveAddr := flag.String("serve", "", "run as a campaign server on this address (e.g. 127.0.0.1:8973); see API.md")
 	cacheN := flag.Int("cache", 512, "with -serve: max memoized experiment results held in the LRU cache")
 	queueN := flag.Int("queue", 16, "with -serve: max queued campaigns before submissions get 429")
@@ -95,7 +96,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := expt.Options{Short: *short, Telemetry: *tel, CritPath: *cp}
+	opts := expt.Options{Short: *short, Telemetry: *tel, CritPath: *cp, Shards: *shards}
 	runner := &expt.Runner{
 		Jobs:     *jobs,
 		Opts:     opts,

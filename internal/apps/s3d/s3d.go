@@ -112,7 +112,12 @@ func RunOn(sys *core.System, b Benchmark) Result {
 	derivBytes := kernels.HaloBytesPerFace(n, n, kernels.Deriv8Width, b.Variables)
 	filterBytes := kernels.HaloBytesPerFace(n, n, kernels.Filter10Width, b.Variables)
 
-	elapsed := mpi.Run(sys, mpi.Auto, func(p *mpi.P) {
+	// The proxy is pure point-to-point (ghost exchanges, no collectives),
+	// so Algorithmic and Auto are behaviourally identical — but declaring
+	// Algorithmic keeps the sharded parallel scheduler engaged at scale
+	// (mpi.Run's fallback gate assumes Auto runs past the analytic
+	// threshold will need engine-global collective state).
+	elapsed := mpi.Run(sys, mpi.Algorithmic, func(p *mpi.P) {
 		me := p.Rank()
 		mx := me % px
 		my := (me / px) % py

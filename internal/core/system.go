@@ -73,6 +73,11 @@ type System struct {
 	CP *critpath.Recorder
 	// Rng drives noise; owned by the experiment for reproducibility.
 	Rng *rand.Rand
+
+	// par is the sharded-scheduler state, nil in serial mode; parReason
+	// records why a parallel request fell back. See parallel.go.
+	par       *parRun
+	parReason string
 }
 
 // NewSystem builds a system for nTasks MPI tasks on machine m in the given
@@ -231,7 +236,9 @@ func (s *System) Run(body func(r *Rank)) sim.Time {
 	for t := 0; t < s.NumTasks; t++ {
 		node, coreIdx := s.Place(t)
 		r := &Rank{sys: s, ID: t, NodeID: node, Core: coreIdx}
-		s.Eng.Spawn(fmt.Sprintf("rank%d", t), func(p *sim.Proc) {
+		// In parallel mode each rank lives on its node's slab engine; in
+		// serial mode EngFor is the system engine for every node.
+		s.EngFor(node).Spawn(fmt.Sprintf("rank%d", t), func(p *sim.Proc) {
 			r.Proc = p
 			body(r)
 			if s.CP != nil {
@@ -240,6 +247,11 @@ func (s *System) Run(body func(r *Rank)) sim.Time {
 				s.CP.SetFinish(r.ID, p.Now())
 			}
 		})
+	}
+	if s.par != nil {
+		end := s.par.sh.Run()
+		s.Fabric.FoldParallel()
+		return end
 	}
 	return s.Eng.Run()
 }

@@ -75,6 +75,15 @@ type Options struct {
 	// `xtsim -critpath`. It composes with Telemetry — both exports can
 	// ride on one run. The attribution tables appear either way.
 	CritPath bool `json:"critpath"`
+	// Shards enables parallel execution inside experiments when ≥ 2, set
+	// by `xtsim -shards`. Two layers honour it (DESIGN.md §4h): sweeps of
+	// independent systems evaluate their cells on a worker pool, and
+	// SN-mode nearest-neighbour workloads run on the sharded
+	// discrete-event scheduler. Experiments outside the parallel admission
+	// envelope (telemetry, VN placement, analytic collectives) fall back
+	// to serial automatically — rendered output is byte-identical for any
+	// Shards value.
+	Shards int `json:"shards"`
 }
 
 // Experiment regenerates one artifact of the paper.

@@ -10,12 +10,12 @@ import (
 // adding a field must extend Canonical (and this count), or two
 // differently-configured runs would share a cache key.
 func TestCanonicalCoversAllOptionFields(t *testing.T) {
-	const covered = 3 // short, telemetry, critpath
+	const covered = 4 // short, telemetry, critpath, shards
 	if n := reflect.TypeOf(Options{}).NumField(); n != covered {
 		t.Fatalf("Options has %d fields but Canonical renders %d; update Options.Canonical and CacheKey docs, then this count", n, covered)
 	}
-	c := Options{Short: true, Telemetry: true, CritPath: true}.Canonical()
-	for _, want := range []string{"short=true", "telemetry=true", "critpath=true"} {
+	c := Options{Short: true, Telemetry: true, CritPath: true, Shards: 4}.Canonical()
+	for _, want := range []string{"short=true", "telemetry=true", "critpath=true", "shards=4"} {
 		if !strings.Contains(c, want) {
 			t.Errorf("Canonical() = %q missing %q", c, want)
 		}
@@ -35,6 +35,7 @@ func TestCacheKeyStableAndSensitive(t *testing.T) {
 		"short":     CacheKey("fig8", Options{}, "v1"),
 		"telemetry": CacheKey("fig8", Options{Short: true, Telemetry: true}, "v1"),
 		"critpath":  CacheKey("fig8", Options{Short: true, CritPath: true}, "v1"),
+		"shards":    CacheKey("fig8", Options{Short: true, Shards: 4}, "v1"),
 		"version":   CacheKey("fig8", Options{Short: true}, "v2"),
 	}
 	seen := map[string]string{base: "base"}

@@ -213,12 +213,31 @@ func globalScales(o Options) []int {
 }
 
 func runGlobal(res *Result, o Options, metric string, bench func(machine.Machine, machine.Mode, int) hpcc.GlobalResult) error {
+	// Every (machine, mode, scale) cell is an independent system, so the
+	// sweep is evaluated through runCells: serial by default, on a worker
+	// pool under -shards — with results assembled by index either way, the
+	// rendered table is byte-identical for any shard count.
+	scales := globalScales(o)
+	type cellCfg struct {
+		m    machine.Machine
+		mode machine.Mode
+		n    int
+	}
+	cells := make([]cellCfg, 0, 3*len(scales))
+	for _, sockets := range scales {
+		cells = append(cells,
+			cellCfg{machine.XT3(), machine.SN, sockets},
+			cellCfg{machine.XT4(), machine.SN, sockets},
+			cellCfg{machine.XT4(), machine.VN, 2 * sockets})
+	}
+	results := make([]hpcc.GlobalResult, len(cells))
+	runCells(o, len(cells), func(i int) {
+		results[i] = bench(cells[i].m, cells[i].mode, cells[i].n)
+	})
 	t := res.Table()
 	t.Row("sockets", "XT3", "XT4-SN", "XT4-VN(cores)", "XT4-VN(sockets)", "["+metric+"]")
-	for _, sockets := range globalScales(o) {
-		xt3 := bench(machine.XT3(), machine.SN, sockets)
-		sn := bench(machine.XT4(), machine.SN, sockets)
-		vn := bench(machine.XT4(), machine.VN, 2*sockets)
+	for i, sockets := range scales {
+		xt3, sn, vn := results[3*i], results[3*i+1], results[3*i+2]
 		// The paper plots VN twice: against its core count and against
 		// its socket count; the *value* is the same run.
 		t.Row(itoa(sockets), f3(xt3.Value), f3(sn.Value), f3(vn.Value), f3(vn.Value), "")

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"xtsim/internal/core"
 	"xtsim/internal/machine"
 )
 
@@ -68,6 +69,35 @@ func BenchmarkMPIAllreduce(b *testing.B) {
 	for _, ranks := range []int{16, 64} {
 		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
 			benchCollective(b, ranks, func(p *P) { p.Allreduce(Sum, 8, nil) })
+		})
+	}
+}
+
+// BenchmarkMPIHalo measures a full 64-rank S3D-class ghost-exchange run
+// (build system, run, fold stats) on the serial engine versus the sharded
+// scheduler at 2 and 4 domains. The workload is the byte-identical
+// equivalence class of DESIGN.md §4h, so the domain variants measure pure
+// scheduling overhead/speedup, not behavioural change.
+func BenchmarkMPIHalo(b *testing.B) {
+	for _, domains := range []int{0, 2, 4} {
+		name := "serial"
+		if domains > 0 {
+			name = fmt.Sprintf("domains=%d", domains)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys := core.NewSystem(machine.XT4(), machine.SN, 64)
+				if domains > 0 && !sys.EnableParallel(domains) {
+					b.Fatalf("EnableParallel(%d) declined: %s", domains, sys.ParallelReason())
+				}
+				w := NewWorld(sys)
+				w.CollMode = Algorithmic
+				comm := w.newComm(identity(sys.NumTasks))
+				sys.Run(func(r *core.Rank) {
+					haloBody(4, 4, 4, 3, 8192)(comm.view(r))
+				})
+				w.FoldStats()
+			}
 		})
 	}
 }

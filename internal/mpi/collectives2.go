@@ -103,7 +103,7 @@ func (p *P) Scan(op Op, bytes int64, data []float64) []float64 {
 		if acc != nil && env.Data != nil {
 			op.combine(acc, env.Data)
 		}
-		p.c.w.releasePayload(env.Data)
+		p.releasePayload(env.Data)
 	}
 	if p.me < n-1 {
 		p.sendData(p.me+1, tagScan, bytes, acc)

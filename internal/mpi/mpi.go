@@ -96,14 +96,15 @@ type World struct {
 	comms    int // comm id allocator
 	CollMode CollectiveMode
 
-	// freeFlights recycles the in-flight arrival records of eager sends;
-	// payloadPool recycles the float64 slabs carrying copied payloads. Both
-	// keep the steady-state message path allocation-free (see pool.go and
-	// DESIGN.md §4d).
-	freeFlights *flight
-	payloadPool [][]float64
+	// pools holds one recycling pool + send-counter block per scheduling
+	// domain (a single entry in serial mode): flights, payload slabs and
+	// counters all stay domain-private so the sharded scheduler's workers
+	// never contend (see pool.go and DESIGN.md §4d/§4h).
+	pools []wpool
 
 	// Stats by operation, for the phase breakdowns of Figures 16 and 19.
+	// Accumulated per domain during the run; FoldStats (called by Run)
+	// folds the domain counters into these totals.
 	SentMsgs  uint64
 	SentBytes uint64
 
@@ -125,7 +126,7 @@ type World struct {
 // enabled (core.System.EnableCritPath), the world records blocked
 // segments into the system's recorder and labels them with OpClass names.
 func NewWorld(sys *core.System) *World {
-	w := &World{sys: sys}
+	w := &World{sys: sys, pools: make([]wpool, sys.NumDomains())}
 	if sys.Tel != nil {
 		w.tel = telemetry.NewMPIStats(opNames(), 0)
 		sys.Tel.MPI = w.tel
@@ -185,6 +186,10 @@ type P struct {
 	// per-communicator P gives every communicator an isolated tag space.
 	pages [][]*matchSlot
 
+	// pool is the recycling pool + send counters of the scheduling domain
+	// this rank's node lives in (the world's only pool in serial mode).
+	pool *wpool
+
 	// Hot-path pools and scratch (see pool.go and DESIGN.md §4d).
 	freeReqs    *Request   // recycled send requests
 	reqScratch  []*Request // reused request list for fan-out collectives
@@ -194,12 +199,35 @@ type P struct {
 // Run spawns body on every task of sys with a world communicator and runs
 // the simulation, returning the makespan in seconds.
 func Run(sys *core.System, mode CollectiveMode, body func(p *P)) sim.Time {
+	// Global-collective fallback (DESIGN.md §4h): analytic collectives
+	// coordinate every rank through one shared meet point, which is
+	// engine-global state the sharded scheduler cannot host. When this run
+	// will use them — Analytic mode, or Auto past the threshold — fall back
+	// to the serial engine before any traffic.
+	if sys.ParallelEnabled() &&
+		(mode == Analytic || (mode == Auto && sys.NumTasks > AnalyticThreshold)) {
+		sys.DisableParallel("analytic collectives coordinate through engine-global shared state")
+	}
 	w := NewWorld(sys)
 	w.CollMode = mode
 	comm := w.newComm(identity(sys.NumTasks))
-	return sys.Run(func(r *core.Rank) {
+	end := sys.Run(func(r *core.Rank) {
 		body(comm.view(r))
 	})
+	w.FoldStats()
+	return end
+}
+
+// FoldStats folds the per-domain send counters into the world's public
+// SentMsgs/SentBytes totals. Run calls it after the simulation completes;
+// callers driving sys.Run themselves should call it before reading the
+// totals. Safe to call repeatedly (each call moves the deltas).
+func (w *World) FoldStats() {
+	for i := range w.pools {
+		w.SentMsgs += w.pools[i].sentMsgs
+		w.SentBytes += w.pools[i].sentBytes
+		w.pools[i].sentMsgs, w.pools[i].sentBytes = 0, 0
+	}
 }
 
 func identity(n int) []int {
@@ -218,7 +246,8 @@ func (w *World) newComm(group []int) *Comm {
 	}
 	c.members = make([]*P, len(group))
 	for lr, g := range group {
-		c.members[lr] = &P{c: c, me: lr}
+		node, _ := w.sys.Place(g)
+		c.members[lr] = &P{c: c, me: lr, pool: &w.pools[w.sys.DomainOf(node)]}
 		c.index[g] = lr
 	}
 	return c
@@ -305,13 +334,12 @@ func (p *P) isendData(dst, tag int, bytes int64, data []float64) *Request {
 	// Copy the payload: eager-protocol buffering means the sender may
 	// freely mutate its buffer after the send is issued. The copy lives in
 	// a pooled slab reclaimed when the receiver combines-and-drops it.
-	env := Envelope{Src: p.me, Tag: tag, Bytes: bytes, Data: w.clonePayload(data)}
-	box := p.c.members[dst].slot(p.me).mbox(tag)
+	env := Envelope{Src: p.me, Tag: tag, Bytes: bytes, Data: p.clonePayload(data)}
 
-	fl := w.newFlight(box, env)
+	fl := p.newFlight(p.c.members[dst], tag, env)
 	tl := w.sys.Fabric.Deliver(p.task.Now(), p.msg(dstTask, bytes), fl)
-	w.SentMsgs++
-	w.SentBytes += uint64(bytes)
+	p.pool.sentMsgs++
+	p.pool.sentBytes += uint64(bytes)
 	if w.tel != nil {
 		cls := OpSend // a bare Isend outside any tracked region
 		if p.opDepth > 0 {
@@ -334,7 +362,10 @@ func (p *P) isendData(dst, tag int, bytes int64, data []float64) *Request {
 		}
 		req.edge = eid
 	}
-	w.sys.Eng.AtArrive(tl.Injected, req)
+	// The injection-complete event belongs to the sender's node, so it is
+	// scheduled on the engine running this rank (the node's domain engine
+	// under the sharded scheduler, the system engine otherwise).
+	p.task.Proc.Engine().AtArrive(tl.Injected, req)
 	return req
 }
 
@@ -462,6 +493,15 @@ func (p *P) waitOne(r *Request) {
 // this communicator. MPI semantics require all ranks to invoke collectives
 // in the same order, which makes the sequence number a safe key.
 func (p *P) sync() *syncState {
+	if p.c.w.sys.ParallelEnabled() {
+		// Shared-state coordination (analytic collectives, Split, the
+		// data-combining paths of AllreduceRing/ReduceScatter) parks ranks
+		// from different slabs on one condition variable — cross-domain
+		// shared state the sharded scheduler cannot host. Run's fallback
+		// gate catches the analytic modes; a workload that reaches this
+		// panic must run serially (leave EnableParallel off).
+		panic("mpi: shared-state collective coordination under the parallel scheduler; run this workload serially")
+	}
 	idx := p.collSeq
 	p.collSeq++
 	for len(p.c.syncs) <= idx {
@@ -696,7 +736,7 @@ func (p *P) Reduce(root int, op Op, bytes int64, data []float64) []float64 {
 			if acc != nil && env.Data != nil {
 				op.combine(acc, env.Data)
 			}
-			p.c.w.releasePayload(env.Data)
+			p.releasePayload(env.Data)
 		}
 	}
 	return acc
@@ -760,7 +800,7 @@ func (p *P) Allreduce(op Op, bytes int64, data []float64) []float64 {
 			if acc != nil && env.Data != nil {
 				op.combine(acc, env.Data)
 			}
-			p.c.w.releasePayload(env.Data)
+			p.releasePayload(env.Data)
 		}
 		// Recursive doubling among the pow2 group.
 		for mask := 1; mask < pow2; mask <<= 1 {
@@ -771,7 +811,7 @@ func (p *P) Allreduce(op Op, bytes int64, data []float64) []float64 {
 			if acc != nil && env.Data != nil {
 				op.combine(acc, env.Data)
 			}
-			p.c.w.releasePayload(env.Data)
+			p.releasePayload(env.Data)
 		}
 	}
 	// Unfold: partners return the result to the folded ranks.

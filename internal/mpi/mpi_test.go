@@ -400,6 +400,7 @@ func TestStatsAccumulate(t *testing.T) {
 			p.Recv(0, 0)
 		}
 	})
+	w.FoldStats()
 	if w.SentMsgs != 1 || w.SentBytes != 1000 {
 		t.Fatalf("stats = %d msgs / %d bytes", w.SentMsgs, w.SentBytes)
 	}

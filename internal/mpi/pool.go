@@ -5,37 +5,66 @@ import "xtsim/internal/sim"
 // Hot-path pooling (DESIGN.md §4d): in-flight arrival records, send
 // requests, and payload slabs are all recycled so a steady-state Send/Recv
 // pair and the algorithmic collectives built on it allocate nothing.
+//
+// The pools are sharded per scheduling domain (one wpool per slab under
+// the parallel engine, a single pool in serial mode, DESIGN.md §4h): a
+// rank only ever touches the pool of the domain its node lives in, so the
+// free lists need no locks under the sharded scheduler and keep their
+// zero-allocation steady state.
+
+// wpool is one scheduling domain's private pool and send counters. Each is
+// touched only by that domain's worker goroutine (serial mode: the one
+// engine goroutine); the trailing pad keeps adjacent domains' hot fields
+// off one cache line.
+type wpool struct {
+	freeFlights *flight
+	payload     [][]float64
+	sentMsgs    uint64
+	sentBytes   uint64
+	_           [4]uint64
+}
 
 // flight is the arrival record of one in-flight eager message. It
 // implements sim.Arriver, so Fabric.Deliver needs no per-send closure, and
-// it recycles itself into the world free list as soon as it has delivered
-// its envelope into the destination mailbox.
+// it recycles itself as soon as it has delivered its envelope into the
+// destination mailbox. The matching mailbox is resolved at arrival time,
+// not send time: Arrive executes on the *receiver's* domain engine, so the
+// receiver-side matching table (and the pool the flight recycles into) are
+// always touched from the domain that owns them.
 type flight struct {
-	w    *World
-	box  *sim.Mailbox[Envelope]
-	env  Envelope
-	next *flight
+	dst      *P
+	src, tag int
+	env      Envelope
+	next     *flight
 }
 
 // Arrive delivers the envelope at message-arrival time.
 func (f *flight) Arrive(sim.Time) {
-	w := f.w
-	f.box.Send(f.env)
-	f.box = nil
+	dst, src, tag, env := f.dst, f.src, f.tag, f.env
+	f.dst = nil
 	f.env = Envelope{}
-	f.next = w.freeFlights
-	w.freeFlights = f
+	pool := dst.pool
+	f.next = pool.freeFlights
+	pool.freeFlights = f
+	dst.slot(src).mbox(tag).Send(env)
 }
 
-func (w *World) newFlight(box *sim.Mailbox[Envelope], env Envelope) *flight {
-	f := w.freeFlights
+// newFlight pops an arrival record from the sender's domain pool (flights
+// recycle into the receiving domain's pool, so under the sharded scheduler
+// records migrate with the traffic — steady bidirectional flows stay
+// balanced and allocation-free).
+func (p *P) newFlight(dst *P, tag int, env Envelope) *flight {
+	pool := p.pool
+	f := pool.freeFlights
 	if f == nil {
-		f = &flight{w: w}
+		f = &flight{}
 	} else {
-		w.freeFlights = f.next
+		pool.freeFlights = f.next
 		f.next = nil
 	}
-	f.box = box
+	f.dst = dst
+	f.src = p.me
+	f.tag = tag
 	f.env = env
 	return f
 }
@@ -55,21 +84,22 @@ func (p *P) newSendReq() *Request {
 	return r
 }
 
-// clonePayload copies data into a slab drawn from the world pool. A nil
-// payload (size-only message) stays nil and never touches the pool.
-func (w *World) clonePayload(d []float64) []float64 {
+// clonePayload copies data into a slab drawn from the calling rank's
+// domain pool. A nil payload (size-only message) stays nil and never
+// touches the pool.
+func (p *P) clonePayload(d []float64) []float64 {
 	if d == nil {
 		return nil
 	}
 	n := len(d)
-	pool := w.payloadPool
+	pool := p.pool.payload
 	for i := len(pool) - 1; i >= 0; i-- {
 		if cap(pool[i]) >= n {
 			s := pool[i][:n]
 			last := len(pool) - 1
 			pool[i] = pool[last]
 			pool[last] = nil
-			w.payloadPool = pool[:last]
+			p.pool.payload = pool[:last]
 			copy(s, d)
 			return s
 		}
@@ -79,11 +109,12 @@ func (w *World) clonePayload(d []float64) []float64 {
 	return out
 }
 
-// releasePayload returns a received slab to the pool. Call only at
-// combine-and-drop receive sites; slabs retained by the application (Bcast
-// data, Allreduce unfold results, user-level Recv) simply leave the pool.
-func (w *World) releasePayload(s []float64) {
+// releasePayload returns a received slab to the receiving rank's domain
+// pool. Call only at combine-and-drop receive sites; slabs retained by the
+// application (Bcast data, Allreduce unfold results, user-level Recv)
+// simply leave the pool.
+func (p *P) releasePayload(s []float64) {
 	if cap(s) > 0 {
-		w.payloadPool = append(w.payloadPool, s[:0])
+		p.pool.payload = append(p.pool.payload, s[:0])
 	}
 }

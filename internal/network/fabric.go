@@ -69,6 +69,11 @@ type Fabric struct {
 	// nothing in steady state.
 	freeVN *vnArrival
 
+	// par is the sharded-delivery state, nil in serial mode — the same
+	// nil-gate idiom as derate/tel/cp, so the serial hot path pays one nil
+	// check. See parallel.go and DESIGN.md §4h.
+	par *parState
+
 	// MsgsDelivered counts completed transfers, for reporting.
 	MsgsDelivered uint64
 	// BytesDelivered accumulates payload bytes, for reporting.
@@ -138,6 +143,9 @@ func (f *Fabric) Deliver(at sim.Time, msg Msg, onArrive sim.Arriver) Timeline {
 	}
 	if msg.SrcNode < 0 || msg.SrcNode >= f.Tor.Nodes() || msg.DstNode < 0 || msg.DstNode >= f.Tor.Nodes() {
 		panic(fmt.Sprintf("network: node out of range in %v (fabric has %d nodes)", msg, f.Tor.Nodes()))
+	}
+	if f.par != nil {
+		return f.deliverParallel(at, msg, onArrive)
 	}
 
 	var tl Timeline

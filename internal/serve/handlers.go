@@ -82,6 +82,7 @@ type OptionsSchema struct {
 	Short     string `json:"short"`
 	Telemetry string `json:"telemetry"`
 	CritPath  string `json:"critpath"`
+	Shards    string `json:"shards"`
 }
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
@@ -96,6 +97,7 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 			Short:     "bool — reduced-scale quick run (drops extreme-scale sweep points, keeps shapes)",
 			Telemetry: "bool — attach the telemetry JSON export to experiments that collect it",
 			CritPath:  "bool — attach the critical-path JSON exports to experiments that record causal graphs",
+			Shards:    "int — parallelism inside experiments (worker-pool sweeps, sharded scheduler); rendered output is byte-identical to serial",
 		},
 	})
 }

@@ -174,6 +174,18 @@ type Engine struct {
 	parkedHead *Proc
 	parkedTail *Proc
 
+	// shard/shardIdx link a domain engine back to its sharded coordinator
+	// (nil/0 for the ordinary serial engine); horizon is the end of the
+	// current conservative window, used to validate cross-domain posts.
+	// See parallel.go.
+	shard    *ShardedEngine
+	shardIdx int
+	horizon  Time
+
+	// procPanic holds a panic value captured on a process goroutine, to be
+	// re-raised on the scheduler's goroutine by step.
+	procPanic any
+
 	// Stats, exported for tests and for the experiment harness.
 	EventsExecuted uint64
 	ProcsSpawned   int
@@ -298,20 +310,7 @@ func (e *Engine) Run() Time {
 	}()
 
 	for e.queue.len() > 0 {
-		ev := e.queue.pop()
-		e.now = ev.at
-		e.EventsExecuted++
-		switch uint8(ev.seqKind & (1<<kindBits - 1)) {
-		case evFunc:
-			ev.arr.(funcEvent)()
-		case evTimer:
-			e.unpark(ev.proc)
-			ev.proc.run()
-		case evResume:
-			ev.proc.run()
-		case evArrive:
-			ev.arr.Arrive(ev.at)
-		}
+		e.step()
 	}
 	if e.blocked > 0 {
 		names := make([]string, 0, 9)
@@ -326,6 +325,52 @@ func (e *Engine) Run() Time {
 		panic(fmt.Sprintf("sim: deadlock: %d process(es) blocked with no pending events (e.g. %v)", e.blocked, names))
 	}
 	return e.now
+}
+
+// step pops and dispatches the single earliest event. Callers must have
+// checked that the queue is non-empty.
+func (e *Engine) step() {
+	ev := e.queue.pop()
+	e.now = ev.at
+	e.EventsExecuted++
+	switch uint8(ev.seqKind & (1<<kindBits - 1)) {
+	case evFunc:
+		ev.arr.(funcEvent)()
+	case evTimer:
+		e.unpark(ev.proc)
+		ev.proc.run()
+	case evResume:
+		ev.proc.run()
+	case evArrive:
+		ev.arr.Arrive(ev.at)
+	}
+	if e.procPanic != nil {
+		r := e.procPanic
+		e.procPanic = nil
+		panic(r)
+	}
+}
+
+// runUntil executes events with timestamps strictly before horizon,
+// including events those events schedule, and returns when the next pending
+// event (if any) is at or after horizon. It is the per-window work unit of
+// the sharded scheduler (see parallel.go); unlike Run it performs no
+// deadlock check and does not flush the global event counter — the sharded
+// coordinator does both once at the end of the whole run.
+func (e *Engine) runUntil(horizon Time) {
+	e.horizon = horizon
+	for e.queue.len() > 0 && e.queue.ev[0].at < horizon {
+		e.step()
+	}
+}
+
+// nextEventAt reports the timestamp of the earliest pending event, or
+// Infinity when the queue is empty.
+func (e *Engine) nextEventAt() Time {
+	if e.queue.len() == 0 {
+		return Infinity
+	}
+	return e.queue.ev[0].at
 }
 
 // Pending reports the number of events currently queued.

@@ -35,10 +35,21 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	e.After(0, func() {
 		go func() {
 			<-p.resume // wait for the scheduler's explicit go-ahead
+			// A panic in the process body is captured and re-raised on the
+			// scheduler's goroutine (see Engine.step): the scheduler is
+			// blocked on the handoff while the process runs, so without
+			// this the panic would unwind a bare goroutine and kill the
+			// program before Run's caller — or a sharded worker's recover —
+			// could see it.
+			defer func() {
+				if r := recover(); r != nil {
+					e.procPanic = r
+				}
+				p.done = true
+				e.live--
+				e.handoff <- struct{}{}
+			}()
 			fn(p)
-			p.done = true
-			e.live--
-			e.handoff <- struct{}{}
 		}()
 		p.run()
 	})

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Parallel-scheduler window statistics (DESIGN.md §4h). Unlike the fabric
+// and MPI collectors — which are cross-domain shared state and therefore
+// mutually exclusive with the sharded scheduler — these are aggregated by
+// the scheduler's own coordinator between windows, so they are available
+// exactly when the rest of the telemetry subsystem is not.
+
+// DomainWindowStats is one scheduling domain's window summary.
+type DomainWindowStats struct {
+	// Domain is the slab index along the partition axis.
+	Domain int `json:"domain"`
+	// Windows is how many time windows the domain executed events in.
+	Windows uint64 `json:"windows"`
+	// Events is the number of events the domain's engine executed.
+	Events uint64 `json:"events"`
+	// PostsOut / PostsIn count cross-domain arrivals sent / received
+	// through the window-boundary merge.
+	PostsOut uint64 `json:"posts_out"`
+	PostsIn  uint64 `json:"posts_in"`
+	// MsgsDelivered is the fabric's per-domain delivered-message count.
+	MsgsDelivered uint64 `json:"msgs_delivered"`
+	// BarrierStallSeconds is wall-clock time the domain's worker spent
+	// waiting at window barriers. It is the one nondeterministic field
+	// (everything else depends only on the simulated workload); strip it
+	// with StripWallClock before embedding the report in deterministic
+	// output.
+	BarrierStallSeconds float64 `json:"barrier_stall_seconds"`
+}
+
+// ParallelReport is the sharded-scheduler telemetry export of one run.
+type ParallelReport struct {
+	SchemaVersion int `json:"schema_version"`
+	// LookaheadSeconds is the conservative window lookahead used.
+	LookaheadSeconds float64 `json:"lookahead_seconds"`
+	// ForeignHops counts route hops priced without contention because they
+	// left the sending slab; zero means the run was in the byte-identical
+	// equivalence class.
+	ForeignHops uint64              `json:"foreign_hops"`
+	Domains     []DomainWindowStats `json:"domains"`
+}
+
+// StripWallClock zeroes the wall-clock fields so the remaining report is a
+// pure function of the simulated workload; returns the report.
+func (r *ParallelReport) StripWallClock() *ParallelReport {
+	for i := range r.Domains {
+		r.Domains[i].BarrierStallSeconds = 0
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON; deterministic after
+// StripWallClock (struct fields marshal in declaration order, no maps).
+func (r *ParallelReport) WriteJSON(w io.Writer) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// WriteProm writes the report as Prometheus-style text exposition in fixed
+// program order. Deterministic after StripWallClock (the stall samples are
+// emitted either way, as zeros after stripping).
+func (r *ParallelReport) WriteProm(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("# xtsim parallel scheduler (schema %d; windows per domain; deterministic export after StripWallClock)\n", r.SchemaVersion)
+	p("xtsim_parallel_lookahead_seconds %s\n", g(r.LookaheadSeconds))
+	p("xtsim_parallel_foreign_hops %d\n", r.ForeignHops)
+	for _, d := range r.Domains {
+		labels := fmt.Sprintf("domain=\"%d\"", d.Domain)
+		p("xtsim_parallel_windows{%s} %d\n", labels, d.Windows)
+		p("xtsim_parallel_events{%s} %d\n", labels, d.Events)
+		p("xtsim_parallel_posts_out{%s} %d\n", labels, d.PostsOut)
+		p("xtsim_parallel_posts_in{%s} %d\n", labels, d.PostsIn)
+		p("xtsim_parallel_msgs_delivered{%s} %d\n", labels, d.MsgsDelivered)
+		p("xtsim_parallel_barrier_stall_seconds{%s} %s\n", labels, g(d.BarrierStallSeconds))
+	}
+	return err
+}

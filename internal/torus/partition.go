@@ -1,0 +1,134 @@
+package torus
+
+import "fmt"
+
+// Partition shards a torus into contiguous slabs perpendicular to one
+// dimension, for the conservative parallel scheduler (internal/sim). Each
+// slab of planes is one scheduling domain.
+//
+// The axis is always the LAST routed dimension whose extent exceeds one
+// (routing order is X→Y→Z, so: Z if NZ>1, else Y, else X). That choice is
+// what makes slab domains compose with dimension-ordered routing: a route's
+// X and Y hops all happen at the source's axis coordinate, so every link of
+// the route prefix up to the first axis hop — and the NIC injection port —
+// has its From-node inside the source's slab. Only axis hops cross slabs,
+// one plane at a time, and each such hop departs from a node in the slab
+// being left. Nearest-neighbour traffic (±1 along any dimension) therefore
+// touches no resource outside the source's slab except the destination
+// itself, which is the property the fabric's exact parallel mode relies on
+// (see DESIGN.md §4h).
+type Partition struct {
+	t    Torus
+	axis Dim
+	// domainOfPlane maps an axis coordinate to its domain; len == axis size.
+	domainOfPlane []int32
+	// first[i] is the lowest plane of domain i; first has NumDomains()+1
+	// entries with a sentinel end, so domain i spans planes
+	// [first[i], first[i+1]).
+	first []int
+}
+
+// partitionAxis reports the slab axis for t: the last routed dimension with
+// more than one plane (Z when NZ>1, else Y, else X).
+func partitionAxis(t Torus) Dim {
+	switch {
+	case t.NZ > 1:
+		return Z
+	case t.NY > 1:
+		return Y
+	default:
+		return X
+	}
+}
+
+// axisSize reports the extent of dimension d.
+func (t Torus) axisSize(d Dim) int {
+	switch d {
+	case X:
+		return t.NX
+	case Y:
+		return t.NY
+	default:
+		return t.NZ
+	}
+}
+
+// NewPartition slabs t into at most `want` domains along the partition
+// axis. The actual domain count is min(want, axis size), at least 1; slab
+// thicknesses differ by at most one plane. want below one panics.
+func NewPartition(t Torus, want int) Partition {
+	if want < 1 {
+		panic(fmt.Sprintf("torus: partition into %d domains", want))
+	}
+	axis := partitionAxis(t)
+	n := t.axisSize(axis)
+	d := want
+	if d > n {
+		d = n
+	}
+	p := Partition{
+		t:             t,
+		axis:          axis,
+		domainOfPlane: make([]int32, n),
+		first:         make([]int, d+1),
+	}
+	// Distribute n planes over d domains: the first n%d domains get one
+	// extra plane, keeping thicknesses within one of each other.
+	base, extra := n/d, n%d
+	plane := 0
+	for i := 0; i < d; i++ {
+		p.first[i] = plane
+		thick := base
+		if i < extra {
+			thick++
+		}
+		for k := 0; k < thick; k++ {
+			p.domainOfPlane[plane] = int32(i)
+			plane++
+		}
+	}
+	p.first[d] = n
+	return p
+}
+
+// Topology returns the torus being partitioned.
+func (p Partition) Topology() Torus { return p.t }
+
+// Axis reports the slab dimension.
+func (p Partition) Axis() Dim { return p.axis }
+
+// NumDomains reports the number of slabs.
+func (p Partition) NumDomains() int { return len(p.first) - 1 }
+
+// DomainOf maps a node id to its slab.
+func (p Partition) DomainOf(node int) int {
+	return int(p.domainOfPlane[p.plane(node)])
+}
+
+// DomainOfLink maps a dense link id (see Torus.LinkID) to the slab owning
+// the link — the slab of the link's From node, since a directed link is the
+// output port of its source.
+func (p Partition) DomainOfLink(linkID int) int {
+	return p.DomainOf(linkID / 6)
+}
+
+// plane extracts a node's coordinate along the partition axis.
+func (p Partition) plane(node int) int {
+	switch p.axis {
+	case X:
+		return node % p.t.NX
+	case Y:
+		return (node / p.t.NX) % p.t.NY
+	default:
+		return node / (p.t.NX * p.t.NY)
+	}
+}
+
+// Planes reports the half-open plane range [lo, hi) of domain i.
+func (p Partition) Planes(i int) (lo, hi int) {
+	return p.first[i], p.first[i+1]
+}
+
+func (p Partition) String() string {
+	return fmt.Sprintf("%v sliced into %d slab(s) along %v", p.t, p.NumDomains(), p.axis)
+}

@@ -1,0 +1,127 @@
+package torus
+
+import "testing"
+
+func TestPartitionAxisChoice(t *testing.T) {
+	cases := []struct {
+		nx, ny, nz int
+		want       Dim
+	}{
+		{4, 4, 4, Z},
+		{8, 4, 1, Y},
+		{8, 1, 1, X},
+		{1, 1, 1, X},
+		{2, 3, 5, Z},
+	}
+	for _, c := range cases {
+		p := NewPartition(New(c.nx, c.ny, c.nz), 4)
+		if p.Axis() != c.want {
+			t.Errorf("%dx%dx%d: axis %v, want %v", c.nx, c.ny, c.nz, p.Axis(), c.want)
+		}
+	}
+}
+
+func TestPartitionCoversAllNodes(t *testing.T) {
+	tor := New(4, 3, 5)
+	for _, want := range []int{1, 2, 3, 4, 5, 7} {
+		p := NewPartition(tor, want)
+		d := p.NumDomains()
+		if want <= 5 && d != want {
+			t.Fatalf("want %d domains, got %d", want, d)
+		}
+		if want > 5 && d != 5 {
+			t.Fatalf("want clamp to 5 domains, got %d", d)
+		}
+		counts := make([]int, d)
+		for n := 0; n < tor.Nodes(); n++ {
+			dom := p.DomainOf(n)
+			if dom < 0 || dom >= d {
+				t.Fatalf("node %d in domain %d of %d", n, dom, d)
+			}
+			counts[dom]++
+		}
+		total := 0
+		for i, c := range counts {
+			if c == 0 {
+				t.Fatalf("domain %d empty (partition %v)", i, p)
+			}
+			total += c
+		}
+		if total != tor.Nodes() {
+			t.Fatalf("covered %d of %d nodes", total, tor.Nodes())
+		}
+		// Slab thicknesses within one plane of each other.
+		lo0, hi0 := p.Planes(0)
+		minT, maxT := hi0-lo0, hi0-lo0
+		for i := 1; i < d; i++ {
+			lo, hi := p.Planes(i)
+			if th := hi - lo; th < minT {
+				minT = th
+			} else if th > maxT {
+				maxT = th
+			}
+		}
+		if maxT-minT > 1 {
+			t.Fatalf("slab thickness spread %d..%d", minT, maxT)
+		}
+	}
+}
+
+// TestPartitionRoutePrefixOwnership pins the property the fabric's exact
+// parallel mode relies on: along any dimension-ordered route, every link up
+// to and including the first hop that leaves the source's slab is owned by
+// (has its From-node in) a slab already visited, and in particular the
+// whole pre-axis prefix is owned by the source's slab.
+func TestPartitionRoutePrefixOwnership(t *testing.T) {
+	tor := New(4, 4, 4)
+	p := NewPartition(tor, 4)
+	for a := 0; a < tor.Nodes(); a++ {
+		for b := 0; b < tor.Nodes(); b++ {
+			if a == b {
+				continue
+			}
+			src := p.DomainOf(a)
+			for _, l := range tor.Route(a, b) {
+				owner := p.DomainOfLink(tor.LinkID(l))
+				if l.Dim != p.Axis() && owner != src {
+					t.Fatalf("route %d→%d: pre-axis link %+v owned by %d, source slab %d",
+						a, b, l, owner, src)
+				}
+				if l.Dim == p.Axis() {
+					// First axis hop departs from the source slab's plane
+					// set (the route's X/Y prefix didn't change the axis
+					// coordinate), then subsequent hops cascade; only check
+					// the first.
+					if owner != src {
+						t.Fatalf("route %d→%d: first axis hop %+v owned by %d, source slab %d",
+							a, b, l, owner, src)
+					}
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionNeighbourTrafficSourceOwned(t *testing.T) {
+	// ±1 neighbours in every dimension: the entire route (single hop) must
+	// be owned by the source's slab.
+	tor := New(4, 4, 4)
+	p := NewPartition(tor, 4)
+	for a := 0; a < tor.Nodes(); a++ {
+		c := tor.Coord(a)
+		for _, nb := range []Coord{
+			{c.X + 1, c.Y, c.Z}, {c.X - 1, c.Y, c.Z},
+			{c.X, c.Y + 1, c.Z}, {c.X, c.Y - 1, c.Z},
+			{c.X, c.Y, c.Z + 1}, {c.X, c.Y, c.Z - 1},
+		} {
+			b := tor.ID(nb)
+			for _, l := range tor.Route(a, b) {
+				if got := p.DomainOfLink(tor.LinkID(l)); got != p.DomainOf(a) {
+					t.Fatalf("neighbour route %d→%d link %+v owned by %d, want source slab %d",
+						a, b, l, got, p.DomainOf(a))
+				}
+			}
+		}
+	}
+}

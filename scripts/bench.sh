@@ -34,8 +34,10 @@ go test -run '^$' -benchmem -benchtime "$micro_time" \
 go test -run '^$' -benchmem -benchtime "$micro_time" \
   -bench 'BenchmarkMPI' \
   ./internal/mpi | tee -a "$tmp"
+# BenchmarkExt covers the parallel-scheduler benches (serial vs sharded
+# pairs); the Fig9/Fig11 Shards4 variants ride on the BenchmarkFig pattern.
 go test -run '^$' -benchmem -benchtime "$fig_time" \
-  -bench 'BenchmarkTable|BenchmarkFig|BenchmarkAblation' \
+  -bench 'BenchmarkTable|BenchmarkFig|BenchmarkAblation|BenchmarkExt' \
   . | tee -a "$tmp"
 
 go run ./scripts/benchsnap -label "$label" -out "$out" < "$tmp"
