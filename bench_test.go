@@ -9,6 +9,7 @@
 package xtsim_test
 
 import (
+	"runtime"
 	"testing"
 
 	"xtsim/internal/expt"
@@ -80,6 +81,51 @@ func BenchmarkExtParallelS3D(b *testing.B) {
 }
 func BenchmarkExtParallelS3DShards4(b *testing.B) {
 	benchExperimentOpts(b, "ext-parallel", expt.Options{Short: true, Shards: 4})
+}
+
+// BenchmarkExtPetascale regenerates the ext-petascale artifact (full-machine
+// S3D strong scaling, DES reference vs hybrid fast path per cell, reduced to
+// the short cells here) and reports the process's memory footprint after the
+// run alongside the wall clock: heap-B is the live+uncollected heap
+// (runtime.MemStats.HeapAlloc), sys-B the peak memory obtained from the OS
+// (MemStats.Sys, monotonic). The per-rank heap bound itself is pinned by
+// mpi.TestPaperScaleHeapBudget; the snapshot tracks that the whole
+// experiment stays flat across PRs. The HybridOff pair is the same artifact
+// with the fast-path runs skipped (DES references only) — the snapshot delta
+// between the two is what the hybrid runs cost on top of the references; at
+// full scale that extra is ≈ 4× cheaper than a second DES pass over the same
+// cells.
+func BenchmarkExtPetascale(b *testing.B) {
+	benchPetascale(b, expt.Options{Short: true})
+}
+
+func BenchmarkExtPetascaleHybridOff(b *testing.B) {
+	benchPetascale(b, expt.Options{Short: true, Hybrid: "off"})
+}
+
+func benchPetascale(b *testing.B, opts expt.Options) {
+	b.Helper()
+	e, err := expt.ByID("ext-petascale")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var peakHeap, peakSys uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Execute(opts); err != nil {
+			b.Fatal(err)
+		}
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > peakHeap {
+			peakHeap = ms.HeapAlloc
+		}
+		if ms.Sys > peakSys {
+			peakSys = ms.Sys
+		}
+	}
+	b.ReportMetric(float64(peakHeap), "heap-B")
+	b.ReportMetric(float64(peakSys), "sys-B")
 }
 
 func BenchmarkAblationVNMediation(b *testing.B)   { benchExperiment(b, "ablation-vn") }

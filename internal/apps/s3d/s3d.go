@@ -32,6 +32,13 @@ type Benchmark struct {
 	Variables int
 	// RKStages is the Runge–Kutta stage count (six in §6.4).
 	RKStages int
+	// Grid, when non-zero, fixes the px×py×pz task decomposition instead
+	// of the automatic near-cubic factorisation. The product must equal
+	// the task count. Aligning it with the machine's torus dimensions
+	// makes every ghost exchange a single-hop transfer on a link no other
+	// rank routes over — the placement the hybrid fast path's exact tier
+	// requires (DESIGN.md §4i).
+	Grid [3]int
 }
 
 // Weak50 returns the paper's weak-scaling benchmark: 50³ points per task.
@@ -104,6 +111,12 @@ func RunOn(sys *core.System, b Benchmark) Result {
 		panic(fmt.Sprintf("s3d: subdomain edge %d smaller than filter stencil", b.PointsPerEdge))
 	}
 	px, py, pz := decompose3(tasks)
+	if b.Grid != [3]int{} {
+		px, py, pz = b.Grid[0], b.Grid[1], b.Grid[2]
+		if px*py*pz != tasks {
+			panic(fmt.Sprintf("s3d: grid %dx%dx%d does not hold %d tasks", px, py, pz, tasks))
+		}
+	}
 	n := b.PointsPerEdge
 	pts := float64(n) * float64(n) * float64(n)
 

@@ -78,6 +78,12 @@ type System struct {
 	// records why a parallel request fell back. See parallel.go.
 	par       *parRun
 	parReason string
+
+	// hybTier is the admitted hybrid fast-path tier (HybridOff = DES);
+	// hybReason records why a hybrid request declined or fell back. See
+	// hybrid.go.
+	hybTier   HybridTier
+	hybReason string
 }
 
 // NewSystem builds a system for nTasks MPI tasks on machine m in the given
@@ -228,6 +234,9 @@ type Rank struct {
 	// NodeID and Core locate the task on the machine.
 	NodeID int
 	Core   int
+	// hc is the rank's private clock on the hybrid fast path, nil for
+	// DES ranks (see hybrid.go).
+	hc *HybClock
 }
 
 // Run spawns body for every task and runs the simulation to completion,
@@ -263,7 +272,12 @@ func (r *Rank) System() *System { return r.sys }
 func (r *Rank) Node() *Node { return r.sys.Nodes[r.NodeID] }
 
 // Now reports the current simulated time.
-func (r *Rank) Now() sim.Time { return r.Proc.Now() }
+func (r *Rank) Now() sim.Time {
+	if r.hc != nil {
+		return r.hc.T
+	}
+	return r.Proc.Now()
+}
 
 // Work describes one compute phase in roofline terms. The three demand
 // classes map onto the HPCC locality taxonomy the paper uses (§5.1):
@@ -313,6 +327,10 @@ func (w Work) flopTime(m machine.Machine) float64 {
 // is the conservative non-overlapped roofline; calibration constants
 // absorb the difference.
 func (r *Rank) Compute(w Work) {
+	if r.hc != nil {
+		r.hybCompute(w)
+		return
+	}
 	tr := r.sys.Tracer
 	var start sim.Time
 	if tr != nil {
@@ -341,6 +359,10 @@ func (r *Rank) Compute(w Work) {
 func (r *Rank) ComputeSeconds(d float64) {
 	if d < 0 {
 		panic(fmt.Sprintf("core: negative compute time %g", d))
+	}
+	if r.hc != nil {
+		r.hc.T += d
+		return
 	}
 	if d > 0 {
 		r.Proc.Wait(d)

@@ -84,6 +84,31 @@ type Options struct {
 	// to serial automatically — rendered output is byte-identical for any
 	// Shards value.
 	Shards int `json:"shards"`
+	// Hybrid selects the hybrid rank fast path (DESIGN.md §4i), set by
+	// `xtsim -hybrid`. "" leaves each experiment's default in place
+	// (ext-petascale engages the fast path per cell, everything else runs
+	// the DES); "off" forces the DES everywhere; "exact" and "analytic"
+	// request that tier on every sweep cell that supports system-level
+	// configuration. Admission may still decline (and the exact tier may
+	// abort back to the DES mid-run) — both are output-transparent, since
+	// the exact tier is bit-identical and fallbacks re-run on the DES.
+	Hybrid string `json:"hybrid"`
+}
+
+// Validate rejects option values outside the documented domain, so the CLI
+// and the campaign server fail a bad request up front instead of running a
+// misconfigured campaign (a negative shard count silently meant "serial",
+// and a mistyped hybrid tier silently meant "default").
+func (o Options) Validate() error {
+	if o.Shards < 0 {
+		return fmt.Errorf("expt: shards must be >= 0 (got %d)", o.Shards)
+	}
+	switch o.Hybrid {
+	case "", "off", "exact", "analytic":
+	default:
+		return fmt.Errorf("expt: unknown hybrid mode %q (want \"\", \"off\", \"exact\" or \"analytic\")", o.Hybrid)
+	}
+	return nil
 }
 
 // Experiment regenerates one artifact of the paper.

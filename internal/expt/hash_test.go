@@ -10,14 +10,41 @@ import (
 // adding a field must extend Canonical (and this count), or two
 // differently-configured runs would share a cache key.
 func TestCanonicalCoversAllOptionFields(t *testing.T) {
-	const covered = 4 // short, telemetry, critpath, shards
+	const covered = 5 // short, telemetry, critpath, shards, hybrid
 	if n := reflect.TypeOf(Options{}).NumField(); n != covered {
 		t.Fatalf("Options has %d fields but Canonical renders %d; update Options.Canonical and CacheKey docs, then this count", n, covered)
 	}
-	c := Options{Short: true, Telemetry: true, CritPath: true, Shards: 4}.Canonical()
-	for _, want := range []string{"short=true", "telemetry=true", "critpath=true", "shards=4"} {
+	c := Options{Short: true, Telemetry: true, CritPath: true, Shards: 4, Hybrid: "exact"}.Canonical()
+	for _, want := range []string{"short=true", "telemetry=true", "critpath=true", "shards=4", "hybrid=exact"} {
 		if !strings.Contains(c, want) {
 			t.Errorf("Canonical() = %q missing %q", c, want)
+		}
+	}
+}
+
+// TestOptionsValidate pins the option domain: the CLI (exit 2) and the
+// campaign server (HTTP 400) both rely on Validate rejecting values that
+// would otherwise silently select a default.
+func TestOptionsValidate(t *testing.T) {
+	for _, o := range []Options{
+		{},
+		{Short: true, Telemetry: true, CritPath: true, Shards: 8},
+		{Hybrid: "off"},
+		{Hybrid: "exact"},
+		{Hybrid: "analytic"},
+	} {
+		if err := o.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", o, err)
+		}
+	}
+	for _, o := range []Options{
+		{Shards: -1},
+		{Hybrid: "Exact"},
+		{Hybrid: "on"},
+		{Hybrid: "des"},
+	} {
+		if err := o.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", o)
 		}
 	}
 }
@@ -36,6 +63,7 @@ func TestCacheKeyStableAndSensitive(t *testing.T) {
 		"telemetry": CacheKey("fig8", Options{Short: true, Telemetry: true}, "v1"),
 		"critpath":  CacheKey("fig8", Options{Short: true, CritPath: true}, "v1"),
 		"shards":    CacheKey("fig8", Options{Short: true, Shards: 4}, "v1"),
+		"hybrid":    CacheKey("fig8", Options{Short: true, Hybrid: "exact"}, "v1"),
 		"version":   CacheKey("fig8", Options{Short: true}, "v2"),
 	}
 	seen := map[string]string{base: "base"}

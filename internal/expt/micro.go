@@ -64,28 +64,28 @@ func init() {
 		ID: "fig8", Artifact: "Figure 8",
 		Title: "Global High Performance LINPACK (TFLOPS)",
 		Run: func(res *Result, o Options) error {
-			return runGlobal(res, o, "HPL TFLOPS", hpcc.HPL)
+			return runGlobal(res, o, "HPL TFLOPS", hpcc.HPLOn)
 		},
 	})
 	register(Experiment{
 		ID: "fig9", Artifact: "Figure 9",
 		Title: "Global Fast Fourier Transform MPI-FFT (GFLOPS)",
 		Run: func(res *Result, o Options) error {
-			return runGlobal(res, o, "MPI-FFT GFLOPS", hpcc.MPIFFT)
+			return runGlobal(res, o, "MPI-FFT GFLOPS", hpcc.MPIFFTOn)
 		},
 	})
 	register(Experiment{
 		ID: "fig10", Artifact: "Figure 10",
 		Title: "Global Matrix Transpose PTRANS (GB/s)",
 		Run: func(res *Result, o Options) error {
-			return runGlobal(res, o, "PTRANS GB/s", hpcc.PTRANS)
+			return runGlobal(res, o, "PTRANS GB/s", hpcc.PTRANSOn)
 		},
 	})
 	register(Experiment{
 		ID: "fig11", Artifact: "Figure 11",
 		Title: "Global Random Access MPI-RA (GUPS)",
 		Run: func(res *Result, o Options) error {
-			return runGlobal(res, o, "MPI-RA GUPS", hpcc.MPIRA)
+			return runGlobal(res, o, "MPI-RA GUPS", hpcc.MPIRAOn)
 		},
 	})
 	register(Experiment{
@@ -212,11 +212,14 @@ func globalScales(o Options) []int {
 	return []int{64, 128, 256, 512}
 }
 
-func runGlobal(res *Result, o Options, metric string, bench func(machine.Machine, machine.Mode, int) hpcc.GlobalResult) error {
+func runGlobal(res *Result, o Options, metric string, bench func(*core.System) hpcc.GlobalResult) error {
 	// Every (machine, mode, scale) cell is an independent system, so the
 	// sweep is evaluated through runCells: serial by default, on a worker
 	// pool under -shards — with results assembled by index either way, the
-	// rendered table is byte-identical for any shard count.
+	// rendered table is byte-identical for any shard count. The system is
+	// built here (not inside the kernel) so -hybrid reaches these sweeps;
+	// output stays byte-identical for any Hybrid value because the exact
+	// tier either reproduces the DES bit for bit or aborts back to it.
 	scales := globalScales(o)
 	type cellCfg struct {
 		m    machine.Machine
@@ -232,7 +235,9 @@ func runGlobal(res *Result, o Options, metric string, bench func(machine.Machine
 	}
 	results := make([]hpcc.GlobalResult, len(cells))
 	runCells(o, len(cells), func(i int) {
-		results[i] = bench(cells[i].m, cells[i].mode, cells[i].n)
+		sys := core.NewSystem(cells[i].m, cells[i].mode, cells[i].n)
+		applyHybrid(sys, o)
+		results[i] = bench(sys)
 	})
 	t := res.Table()
 	t.Row("sockets", "XT3", "XT4-SN", "XT4-VN(cores)", "XT4-VN(sockets)", "["+metric+"]")

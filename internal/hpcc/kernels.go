@@ -150,6 +150,14 @@ type GlobalResult struct {
 // broadcast costs ride the simulated network; trailing updates are DGEMM
 // work. Figure 8.
 func HPL(m machine.Machine, mode machine.Mode, tasks int) GlobalResult {
+	return HPLOn(core.NewSystem(m, mode, tasks))
+}
+
+// HPLOn runs HPL on a caller-prepared system (for instance one with the
+// hybrid fast path requested); machine, mode and task count come from the
+// system, like s3d.RunOn.
+func HPLOn(sys *core.System) GlobalResult {
+	m, mode, tasks := sys.M, sys.Mode, sys.NumTasks
 	// Process grid: pr x pc as square as possible.
 	pr, pc := nearSquare(tasks)
 	// Problem size grows with sqrt(tasks) (memory-per-task-constant HPL
@@ -166,7 +174,6 @@ func HPL(m machine.Machine, mode machine.Mode, tasks int) GlobalResult {
 	const nbReal = 200
 	nb := n / panels
 
-	sys := core.NewSystem(m, mode, tasks)
 	elapsed := mpi.Run(sys, mpi.Auto, func(p *mpi.P) {
 		me := p.Rank()
 		myRow := me / pc
@@ -214,11 +221,16 @@ func HPL(m machine.Machine, mode machine.Mode, tasks int) GlobalResult {
 // MPIFFT runs the global 1-D FFT proxy: two local FFT passes separated by
 // all-to-all transposes (the standard six-step algorithm). Figure 9.
 func MPIFFT(m machine.Machine, mode machine.Mode, tasks int) GlobalResult {
+	return MPIFFTOn(core.NewSystem(m, mode, tasks))
+}
+
+// MPIFFTOn is MPIFFT on a caller-prepared system.
+func MPIFFTOn(sys *core.System) GlobalResult {
+	m, mode, tasks := sys.M, sys.Mode, sys.NumTasks
 	// Total size scales with tasks; must be a power of two per task too.
 	perTask := 1 << 19 // 512k complex points per task
 	total := perTask * tasks
 
-	sys := core.NewSystem(m, mode, tasks)
 	elapsed := mpi.Run(sys, mpi.Algorithmic, func(p *mpi.P) {
 		local := FFTWork(perTask)
 		// Six-step: transpose, local FFTs, transpose, twiddle+local FFTs,
@@ -244,12 +256,17 @@ func MPIFFT(m machine.Machine, mode machine.Mode, tasks int) GlobalResult {
 // flat from XT3 to XT4 because the SeaStar link rate did not change
 // (§5.1.3). Figure 10.
 func PTRANS(m machine.Machine, mode machine.Mode, tasks int) GlobalResult {
+	return PTRANSOn(core.NewSystem(m, mode, tasks))
+}
+
+// PTRANSOn is PTRANS on a caller-prepared system.
+func PTRANSOn(sys *core.System) GlobalResult {
+	m, mode, tasks := sys.M, sys.Mode, sys.NumTasks
 	pr, pc := nearSquare(tasks)
 	// Matrix size: constant memory per task.
 	n := int(2000 * math.Sqrt(float64(tasks)))
 	locBytes := int64(8) * int64(n/pr) * int64(n/pc)
 
-	sys := core.NewSystem(m, mode, tasks)
 	elapsed := mpi.Run(sys, mpi.Auto, func(p *mpi.P) {
 		me := p.Rank()
 		myRow := me / pc
@@ -287,10 +304,15 @@ func PTRANS(m machine.Machine, mode machine.Mode, tasks int) GlobalResult {
 // 0.02. VN mode's NIC sharing makes it slower per socket than the XT3 —
 // the paper's clearest multi-core negative.
 func MPIRA(m machine.Machine, mode machine.Mode, tasks int) GlobalResult {
+	return MPIRAOn(core.NewSystem(m, mode, tasks))
+}
+
+// MPIRAOn is MPIRA on a caller-prepared system.
+func MPIRAOn(sys *core.System) GlobalResult {
+	m, mode, tasks := sys.M, sys.Mode, sys.NumTasks
 	const batches = 3
 	const lookahead = 1024 // HPCC rule: max buffered updates per task
 
-	sys := core.NewSystem(m, mode, tasks)
 	elapsed := mpi.Run(sys, mpi.Algorithmic, func(p *mpi.P) {
 		per := int64(8 * lookahead / tasks)
 		if per < 8 {

@@ -554,9 +554,23 @@ func CombinedXT3XT4() Machine {
 	return m
 }
 
+// XT4Full returns the paper-headline full machine by name: §2 and Table 1
+// describe the combined system as 11,706 nodes and up to 23,016 processor
+// cores; the gap between the two figures is the service/login/I-O
+// partition, so the simulated compute partition is the 11,508 dual-core
+// compute nodes of CombinedXT3XT4 (11,508 × 2 = 23,016 cores — the
+// MaxCores value the machine tests pin). Experiments and the serve schema
+// reference the paper configuration through this preset instead of
+// ad-hoc node-count literals.
+func XT4Full() Machine {
+	m := CombinedXT3XT4()
+	m.Name = "XT4-full"
+	return m
+}
+
 // All returns every predefined machine, XT family first.
 func All() []Machine {
-	return []Machine{XT3(), XT3DualCore(), XT4(), CombinedXT3XT4(), X1E(), EarthSimulator(), P690(), P575(), SP()}
+	return []Machine{XT3(), XT3DualCore(), XT4(), CombinedXT3XT4(), XT4Full(), X1E(), EarthSimulator(), P690(), P575(), SP()}
 }
 
 // ByName looks up a predefined machine by its figure label.

@@ -199,3 +199,23 @@ func TestCombinedMachine(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestXT4FullPreset(t *testing.T) {
+	f := XT4Full()
+	if f.Name != "XT4-full" {
+		t.Fatalf("name = %q", f.Name)
+	}
+	// The preset is the compute partition of the combined system: the
+	// paper's 23,016-core headline figure, reachable by name.
+	if f.MaxCores() != 23016 {
+		t.Fatalf("full-machine cores = %d, want 23016", f.MaxCores())
+	}
+	c := CombinedXT3XT4()
+	c.Name = f.Name
+	if f != c {
+		t.Fatalf("XT4Full must differ from CombinedXT3XT4 only by name")
+	}
+	if _, err := ByName("XT4-full"); err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"xtsim/internal/core"
@@ -100,6 +101,37 @@ func BenchmarkMPIHalo(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkMPIPaperScaleHeap builds and runs a full-machine VN world
+// (23,016 ranks, the paper's combined system) through one nearest-neighbour
+// ring round and reports the steady-state live heap per rank — the same
+// accounting as TestPaperScaleHeapBudget, so the BENCH_sim.json snapshot
+// carries the per-rank memory bound (budget: 2048 B/rank) alongside the
+// wall clock of standing up a paper-scale world.
+func BenchmarkMPIPaperScaleHeap(b *testing.B) {
+	m := machine.XT4Full()
+	tasks := m.MaxCores() // 23,016
+	heap := func() uint64 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+	var perRank float64
+	for i := 0; i < b.N; i++ {
+		sys := core.NewSystem(m, machine.VN, tasks)
+		base := heap()
+		w := NewWorld(sys)
+		w.CollMode = Algorithmic
+		comm := w.newComm(identity(tasks))
+		sys.Run(func(r *core.Rank) { ringBody(comm.view(r)) })
+		if pr := float64(heap()-base) / float64(tasks); pr > perRank {
+			perRank = pr
+		}
+		w.Finalize()
+	}
+	b.ReportMetric(perRank, "heap-B/rank")
 }
 
 // BenchmarkMPIAlltoall measures the pairwise-exchange Alltoall that

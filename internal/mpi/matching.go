@@ -2,24 +2,34 @@ package mpi
 
 import "xtsim/internal/sim"
 
-// Message matching: each rank's per-communicator P owns a flat table of
-// per-sender slots, indexed by the sender's local rank, each holding a
-// small set of per-tag mailboxes. This replaces the former
-// map[(comm,src,tag)]*Mailbox lookup: the steady-state path is two array
-// indexes plus a short linear scan over live tags — no hashing, no
-// interface boxing, no map growth — and because the table lives on the
-// per-communicator P, Split/Dup communicators get isolated matching state
-// for free (see DESIGN.md §4d).
+// Message matching: each rank's per-communicator P owns a sparse table of
+// per-sender slots, keyed by the sender's local rank, each holding a
+// small set of per-tag mailboxes. This replaces the former paged dense
+// directory: a rank's steady-state matching footprint is proportional to
+// the number of senders that actually talk to it (a handful under
+// nearest-neighbour or log-radix patterns), not to the communicator size —
+// the invariant that keeps a 23,016-rank world at O(1) heap per rank
+// (DESIGN.md §4d). Because the table lives on the per-communicator P,
+// Split/Dup communicators get isolated matching state for free.
 //
-// The sender dimension is paged so a 22,000-task world does not allocate a
-// dense 22k-entry row per rank: pages materialise only for senders that
-// actually communicate with this rank, a handful under nearest-neighbour
-// or log-radix patterns.
+// The table is open-addressed with linear probing over power-of-two
+// storage: the hot path is one multiplicative hash, typically one probe,
+// and a short inline tag scan — no map header, no per-bucket overhead.
+// Slot structs are pooled on the domain's wpool and reclaimed by
+// World.Finalize, so repeated runs and Split-heavy programs reuse matching
+// state instead of regrowing it.
 
 const (
-	pageShift  = 6
-	pageSize   = 1 << pageShift
-	inlineTags = 4
+	// inlineTags trades slot footprint against overflow-box allocations:
+	// each inline entry is a 64-byte mailbox, and at paper scale idle
+	// inline entries dominate per-rank matching heap (most sender pairs
+	// use one or two live tags; heavier tag fans spill to pooled-slice
+	// overflow boxes created on demand).
+	inlineTags = 2
+	// minSrcCap is the initial sender-table capacity (power of two).
+	// Nearest-neighbour exchanges see ≤ 6 senders, so the table usually
+	// never rehashes.
+	minSrcCap = 8
 )
 
 // tagBox is an overflow mailbox for slots using more than inlineTags tags.
@@ -30,12 +40,14 @@ type tagBox struct {
 
 // matchSlot holds the mailboxes for messages from one sender to the owning
 // rank. Slots are heap-allocated once and never move, so mailbox pointers
-// captured by in-flight messages stay valid as the table grows.
+// captured by in-flight messages stay valid as the table grows; freed
+// slots recycle through the domain pool's free list.
 type matchSlot struct {
 	n     int // live inline entries
 	tags  [inlineTags]int
 	boxes [inlineTags]sim.Mailbox[Envelope]
 	more  []*tagBox
+	free  *matchSlot // wpool free-list link
 }
 
 // mbox returns the mailbox for tag, creating it on first use. Most
@@ -63,21 +75,111 @@ func (s *matchSlot) mbox(tag int) *sim.Mailbox[Envelope] {
 	return &tb.box
 }
 
+// srcTable is the open-addressed sender directory: srcs[i] holds the
+// sender's local rank + 1 (0 marks an empty probe cell) and slots[i] that
+// sender's matching slot. Capacity is a power of two; load is kept under
+// 3/4 so probe runs stay short.
+type srcTable struct {
+	srcs  []int32
+	slots []*matchSlot
+	n     int // live entries
+}
+
+// hashSrc spreads small integer ranks over the table (Fibonacci hashing):
+// nearest-neighbour sender sets are runs of close-by ranks, which a plain
+// mask would cluster into one probe chain.
+func hashSrc(src, mask int) int {
+	return int(uint32(src)*2654435769) & mask
+}
+
 // slot returns the matching slot for messages sent to p by local rank src,
-// materialising the directory, page and slot lazily on first use.
+// materialising the table and the sender's slot lazily on first use.
 func (p *P) slot(src int) *matchSlot {
-	if p.pages == nil {
-		p.pages = make([][]*matchSlot, (len(p.c.group)+pageSize-1)>>pageShift)
+	t := &p.tbl
+	if t.slots == nil {
+		t.srcs = make([]int32, minSrcCap)
+		t.slots = make([]*matchSlot, minSrcCap)
 	}
-	pg := p.pages[src>>pageShift]
-	if pg == nil {
-		pg = make([]*matchSlot, pageSize)
-		p.pages[src>>pageShift] = pg
+	mask := len(t.slots) - 1
+	i := hashSrc(src, mask)
+	for {
+		switch t.srcs[i] {
+		case int32(src) + 1:
+			return t.slots[i]
+		case 0:
+			if (t.n+1)*4 > len(t.slots)*3 {
+				t.rehash()
+				mask = len(t.slots) - 1
+				i = hashSrc(src, mask)
+				for t.srcs[i] != 0 {
+					i = (i + 1) & mask
+				}
+			}
+			s := p.pool.getSlot()
+			t.srcs[i] = int32(src) + 1
+			t.slots[i] = s
+			t.n++
+			return s
+		}
+		i = (i + 1) & mask
 	}
-	s := pg[src&(pageSize-1)]
+}
+
+// rehash doubles the table, reinserting live entries.
+func (t *srcTable) rehash() {
+	oldSrcs, oldSlots := t.srcs, t.slots
+	cap2 := 2 * len(oldSlots)
+	t.srcs = make([]int32, cap2)
+	t.slots = make([]*matchSlot, cap2)
+	mask := cap2 - 1
+	for j, s := range oldSrcs {
+		if s == 0 {
+			continue
+		}
+		i := hashSrc(int(s-1), mask)
+		for t.srcs[i] != 0 {
+			i = (i + 1) & mask
+		}
+		t.srcs[i] = s
+		t.slots[i] = oldSlots[j]
+	}
+}
+
+// releaseMatching returns every slot to the domain pool and drops the
+// table storage; World.Finalize calls it once the run is over.
+func (p *P) releaseMatching() {
+	t := &p.tbl
+	for i, s := range t.slots {
+		if s != nil {
+			p.pool.putSlot(s)
+			t.slots[i] = nil
+		}
+	}
+	t.srcs, t.slots, t.n = nil, nil, 0
+}
+
+// getSlot pops a recycled matching slot from the domain pool (or
+// allocates a fresh one).
+func (w *wpool) getSlot() *matchSlot {
+	s := w.freeSlots
 	if s == nil {
-		s = &matchSlot{}
-		pg[src&(pageSize-1)] = s
+		return &matchSlot{}
 	}
+	w.freeSlots = s.free
+	s.free = nil
 	return s
+}
+
+// putSlot scrubs a slot and pushes it onto the domain free list. Inline
+// mailboxes keep their ring storage (a reused slot starts at its previous
+// high-water capacity); overflow tag boxes are rare and simply dropped.
+func (w *wpool) putSlot(s *matchSlot) {
+	for i := 0; i < s.n; i++ {
+		s.tags[i] = 0
+		s.boxes[i].Reset()
+	}
+	s.n = 0
+	s.more = nil
+	s.free = w.freeSlots
+	w.freeSlots = s
 }

@@ -1,0 +1,172 @@
+package mpi
+
+import (
+	"runtime"
+	"testing"
+
+	"xtsim/internal/core"
+	"xtsim/internal/machine"
+)
+
+// ringBody is a one-round nearest-neighbour exchange: every rank hears
+// from exactly one sender (its left neighbour), the sparse matching
+// table's best case.
+func ringBody(p *P) {
+	n := p.Size()
+	right := (p.me + 1) % n
+	left := (p.me - 1 + n) % n
+	sreq := p.Isend(right, 7, 1024)
+	p.Recv(left, 7)
+	p.wait1(sreq)
+}
+
+// TestSparseTableLazyAllocation pins the memory-layer invariant: a rank's
+// matching table holds slots only for senders that actually talked to it,
+// and never grows past the initial capacity for nearest-neighbour traffic —
+// independent of communicator size.
+func TestSparseTableLazyAllocation(t *testing.T) {
+	const n = 256
+	sys := newSys(n, machine.SN)
+	w := NewWorld(sys)
+	w.CollMode = Algorithmic
+	comm := w.newComm(identity(n))
+	sys.Run(func(r *core.Rank) { ringBody(comm.view(r)) })
+
+	for _, p := range comm.members {
+		if p.tbl.n != 1 {
+			t.Fatalf("rank %d: %d senders materialised, want 1 (left neighbour)", p.me, p.tbl.n)
+		}
+		if len(p.tbl.slots) != minSrcCap {
+			t.Fatalf("rank %d: table capacity %d, want initial %d", p.me, len(p.tbl.slots), minSrcCap)
+		}
+	}
+}
+
+// TestMatchingTableRehashKeepsSlots drives one rank past the table's load
+// factor (a gather-like fan-in) and checks every sender still resolves to
+// its original slot after rehashing.
+func TestMatchingTableRehashKeepsSlots(t *testing.T) {
+	const n = 64
+	sys := newSys(n, machine.SN)
+	w := NewWorld(sys)
+	w.CollMode = Algorithmic
+	comm := w.newComm(identity(n))
+	sys.Run(func(r *core.Rank) {
+		p := comm.view(r)
+		if p.me == 0 {
+			for src := 1; src < n; src++ {
+				p.Recv(src, 3)
+			}
+			return
+		}
+		p.Send(0, 3, 64)
+	})
+
+	root := comm.members[0]
+	if root.tbl.n != n-1 {
+		t.Fatalf("root materialised %d senders, want %d", root.tbl.n, n-1)
+	}
+	if len(root.tbl.slots) < n-1 {
+		t.Fatalf("root table capacity %d cannot hold %d senders", len(root.tbl.slots), n-1)
+	}
+	seen := map[*matchSlot]bool{}
+	for src := 1; src < n; src++ {
+		s := root.slot(src)
+		if seen[s] {
+			t.Fatalf("sender %d aliases another sender's slot", src)
+		}
+		seen[s] = true
+	}
+	if root.tbl.n != n-1 {
+		t.Fatalf("lookups after the run materialised new slots: %d", root.tbl.n)
+	}
+}
+
+// TestMatchingReleaseAfterFinalize checks pooled reclamation: Finalize
+// returns every materialised slot to the domain pool (scrubbed, ready for
+// reuse) and drops the per-rank table and scratch storage.
+func TestMatchingReleaseAfterFinalize(t *testing.T) {
+	const n = 16
+	sys := newSys(n, machine.SN)
+	w := NewWorld(sys)
+	w.CollMode = Algorithmic
+	comm := w.newComm(identity(n))
+	sys.Run(func(r *core.Rank) { ringBody(comm.view(r)) })
+
+	live := 0
+	for _, p := range comm.members {
+		live += p.tbl.n
+	}
+	if live == 0 {
+		t.Fatal("no slots materialised before Finalize")
+	}
+	w.Finalize()
+
+	for _, p := range comm.members {
+		if p.tbl.slots != nil || p.tbl.srcs != nil || p.tbl.n != 0 {
+			t.Fatalf("rank %d: table not released after Finalize", p.me)
+		}
+		if p.freeReqs != nil || p.reqScratch != nil || p.sizeScratch != nil {
+			t.Fatalf("rank %d: scratch not released after Finalize", p.me)
+		}
+	}
+	free := 0
+	for i := range w.pools {
+		for s := w.pools[i].freeSlots; s != nil; s = s.free {
+			if s.n != 0 || s.more != nil {
+				t.Fatal("pooled slot not scrubbed")
+			}
+			free++
+		}
+	}
+	if free != live {
+		t.Fatalf("pool holds %d slots after Finalize, want all %d released", free, live)
+	}
+
+	// A fresh communicator on the same world reuses the pooled slots
+	// instead of allocating.
+	recycled := w.pools[0].freeSlots
+	if got := comm.members[0].pool.getSlot(); got != recycled {
+		t.Fatal("getSlot did not pop the recycled slot")
+	}
+}
+
+// TestPaperScaleHeapBudget is the 23k-rank heap-budget guard: a
+// full-machine VN world (23,016 ranks on the paper's combined system) in
+// steady state must stay under ~2 KiB of live heap per rank. It measures
+// the live-heap delta from before world construction to post-run (world,
+// procs, matching state and route cache included; the fabric and node
+// resources are charged to the baseline system). Skipped under -short.
+func TestPaperScaleHeapBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale heap guard skipped in -short mode")
+	}
+	m := machine.XT4Full()
+	tasks := m.MaxCores() // 23,016
+	sys := core.NewSystem(m, machine.VN, tasks)
+
+	heap := func() uint64 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+	base := heap()
+
+	w := NewWorld(sys)
+	w.CollMode = Algorithmic
+	comm := w.newComm(identity(tasks))
+	sys.Run(func(r *core.Rank) { ringBody(comm.view(r)) })
+
+	steady := heap()
+	perRank := float64(steady-base) / float64(tasks)
+	t.Logf("steady-state heap: %.1f B/rank (%d ranks, %.1f MiB total)",
+		perRank, tasks, float64(steady-base)/(1<<20))
+	const budget = 2048
+	if perRank > budget {
+		t.Fatalf("steady-state heap %.1f B/rank exceeds the %d B/rank budget", perRank, budget)
+	}
+
+	w.Finalize()
+	runtime.KeepAlive(w)
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"xtsim/internal/core"
 	"xtsim/internal/critpath"
@@ -96,6 +97,10 @@ type World struct {
 	comms    int // comm id allocator
 	CollMode CollectiveMode
 
+	// allComms tracks every communicator ever created (world, Split, Dup)
+	// so Finalize can walk all matching tables for reclamation.
+	allComms []*Comm
+
 	// pools holds one recycling pool + send-counter block per scheduling
 	// domain (a single entry in serial mode): flights, payload slabs and
 	// counters all stay domain-private so the sharded scheduler's workers
@@ -118,6 +123,10 @@ type World struct {
 	// recording was enabled when the world was created, in which case the
 	// blocking paths record waits under the same nil-gate discipline.
 	cp *critpath.Recorder
+
+	// hyb is the hybrid fast-path run state, nil for DES worlds (see
+	// hybrid.go); newComm uses it to wire member views for hybrid matching.
+	hyb *hybRun
 }
 
 // NewWorld creates the runtime for sys. If telemetry is enabled on the
@@ -144,10 +153,16 @@ type Comm struct {
 	w     *World
 	id    int
 	group []int       // global task ids, indexed by local rank
-	index map[int]int // global task id -> local rank
+	index map[int]int // global task id -> local rank; nil for identity groups
 
 	syncs   []*syncState
 	members []*P // local-rank-indexed views, for shared-state coordination
+
+	// Hybrid-path collective meets (hybrid.go): hsyncs replaces syncs on
+	// the hybrid fast path; hmu guards its growth, since rank goroutines
+	// reach new collectives concurrently there.
+	hmu    sync.Mutex
+	hsyncs []*hybSync
 
 	// tel is the communicator's telemetry slot, nil when telemetry is off;
 	// cached here so the per-op hot path never does a map lookup.
@@ -181,14 +196,21 @@ type P struct {
 	curClass OpClass
 	prof     Profile
 
-	// Message-matching table: pages[src>>pageShift][src&(pageSize-1)] holds
-	// the per-sender slot (see matching.go). Living on the receiver's
-	// per-communicator P gives every communicator an isolated tag space.
-	pages [][]*matchSlot
+	// Message-matching table: a sparse open-addressed directory of
+	// per-sender slots (see matching.go). Living on the receiver's
+	// per-communicator P gives every communicator an isolated tag space;
+	// holding only senders that actually appear keeps per-rank heap O(1)
+	// at paper scale.
+	tbl srcTable
 
 	// pool is the recycling pool + send counters of the scheduling domain
 	// this rank's node lives in (the world's only pool in serial mode).
 	pool *wpool
+
+	// hyb and hybV are this rank's hybrid fast-path context and pending
+	// message view; nil on the DES (see hybrid.go).
+	hyb  *hybTask
+	hybV *hybView
 
 	// Hot-path pools and scratch (see pool.go and DESIGN.md §4d).
 	freeReqs    *Request   // recycled send requests
@@ -208,6 +230,14 @@ func Run(sys *core.System, mode CollectiveMode, body func(p *P)) sim.Time {
 		(mode == Analytic || (mode == Auto && sys.NumTasks > AnalyticThreshold)) {
 		sys.DisableParallel("analytic collectives coordinate through engine-global shared state")
 	}
+	// Hybrid fast path (DESIGN.md §4i): when admitted, every rank runs on a
+	// private clock with session-priced transfers. On decline or runtime
+	// abort the fabric is untouched, so the DES below starts pristine.
+	if sys.HybridEnabled() {
+		if end, ok := tryHybrid(sys, mode, body); ok {
+			return end
+		}
+	}
 	w := NewWorld(sys)
 	w.CollMode = mode
 	comm := w.newComm(identity(sys.NumTasks))
@@ -215,7 +245,26 @@ func Run(sys *core.System, mode CollectiveMode, body func(p *P)) sim.Time {
 		body(comm.view(r))
 	})
 	w.FoldStats()
+	w.Finalize()
 	return end
+}
+
+// Finalize releases run-lifetime matching and scratch state: every
+// communicator's matching slots go back to their domain pools and per-rank
+// scratch is dropped, so a finished world's steady-state retention is the
+// pools themselves. Run calls it after folding stats; callers driving
+// sys.Run through NewWorld directly should call it when the run is over
+// (in-flight matching state must be quiescent, which it is once sys.Run
+// has returned).
+func (w *World) Finalize() {
+	for _, c := range w.allComms {
+		for _, p := range c.members {
+			p.releaseMatching()
+			p.freeReqs = nil
+			p.reqScratch = nil
+			p.sizeScratch = nil
+		}
+	}
 }
 
 // FoldStats folds the per-domain send counters into the world's public
@@ -240,15 +289,38 @@ func identity(n int) []int {
 
 func (w *World) newComm(group []int) *Comm {
 	w.comms++
-	c := &Comm{w: w, id: w.comms, group: group, index: make(map[int]int, len(group))}
+	c := &Comm{w: w, id: w.comms, group: group}
+	w.allComms = append(w.allComms, c)
 	if w.tel != nil {
 		c.tel = w.tel.Comm(c.id, len(group))
 	}
+	// The world communicator's group is the identity permutation, so the
+	// reverse map would just repeat the index; leaving it nil saves tens of
+	// bytes per rank at paper scale (view falls back to rank == id).
+	identityGroup := true
+	for lr, g := range group {
+		if g != lr {
+			identityGroup = false
+			break
+		}
+	}
+	if !identityGroup {
+		c.index = make(map[int]int, len(group))
+	}
+	// One backing slab for all member views: at 23k ranks, per-object
+	// allocation rounding on the P struct alone is measurable.
+	ps := make([]P, len(group))
 	c.members = make([]*P, len(group))
 	for lr, g := range group {
 		node, _ := w.sys.Place(g)
-		c.members[lr] = &P{c: c, me: lr, pool: &w.pools[w.sys.DomainOf(node)]}
-		c.index[g] = lr
+		ps[lr] = P{c: c, me: lr, pool: &w.pools[w.sys.DomainOf(node)]}
+		if w.hyb != nil {
+			ps[lr].hybV = &hybView{}
+		}
+		c.members[lr] = &ps[lr]
+		if c.index != nil {
+			c.index[g] = lr
+		}
 	}
 	return c
 }
@@ -256,7 +328,13 @@ func (w *World) newComm(group []int) *Comm {
 // view attaches the task context lazily (the core.Rank exists only once the
 // process is spawned) and returns the task's rank-local view.
 func (c *Comm) view(task *core.Rank) *P {
-	lr, ok := c.index[task.ID]
+	var lr int
+	var ok bool
+	if c.index == nil { // identity group: local rank == global task id
+		lr, ok = task.ID, task.ID >= 0 && task.ID < len(c.group)
+	} else {
+		lr, ok = c.index[task.ID]
+	}
 	if !ok {
 		panic(fmt.Sprintf("mpi: task %d not in communicator", task.ID))
 	}
@@ -329,6 +407,9 @@ func (p *P) IsendData(dst, tag int, data []float64) *Request {
 }
 
 func (p *P) isendData(dst, tag int, bytes int64, data []float64) *Request {
+	if p.hyb != nil {
+		return p.hybIsend(dst, tag, bytes, data)
+	}
 	w := p.c.w
 	dstTask := p.global(dst)
 	// Copy the payload: eager-protocol buffering means the sender may
@@ -378,6 +459,9 @@ func (p *P) Recv(src, tag int) Envelope {
 	if src < 0 || src >= len(p.c.group) {
 		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", src, len(p.c.group)))
 	}
+	if p.hyb != nil {
+		return p.hybRecv(src, tag)
+	}
 	box := p.slot(src).mbox(tag)
 	if cp := p.c.w.cp; cp != nil {
 		// Every blocking receive in the runtime funnels through here
@@ -425,6 +509,10 @@ type Request struct {
 	// through the edge's sender-side components.
 	edge int32
 	next *Request // free-list link for pooled send requests
+	// ready is the injection-complete time of a hybrid-path send (the DES
+	// schedules an engine event instead); Wait advances the rank's clock to
+	// it, which is exactly where the DES proc resumes.
+	ready sim.Time
 }
 
 // Arrive completes a send request when its injection event fires; the
@@ -470,6 +558,21 @@ func (p *P) waitOne(r *Request) {
 		}
 		return
 	}
+	if p.hyb != nil {
+		// Hybrid sends complete at creation with their injection time
+		// attached; the DES would block the proc until the injection event,
+		// so resume-at-injection becomes a clock advance (max covers the
+		// already-past case where the DES does not move either).
+		if r.ready > p.hyb.clk.T {
+			p.hyb.clk.T = r.ready
+		}
+		if !r.recycled {
+			r.recycled = true
+			r.next = p.freeReqs
+			p.freeReqs = r
+		}
+		return
+	}
 	if cp := p.c.w.cp; cp != nil && !r.done {
 		t0 := p.task.Now()
 		for !r.done {
@@ -493,6 +596,11 @@ func (p *P) waitOne(r *Request) {
 // this communicator. MPI semantics require all ranks to invoke collectives
 // in the same order, which makes the sequence number a safe key.
 func (p *P) sync() *syncState {
+	if p.hyb != nil {
+		// Every caller branches to a hybMeet first; reaching the DES meet
+		// from a hybrid rank would corrupt single-threaded state.
+		panic("mpi: DES sync state reached from the hybrid fast path")
+	}
 	if p.c.w.sys.ParallelEnabled() {
 		// Shared-state coordination (analytic collectives, Split, the
 		// data-combining paths of AllreduceRing/ReduceScatter) parks ranks
@@ -514,6 +622,10 @@ func (p *P) sync() *syncState {
 // the last arriver computes the finish time from the meet time, and
 // everyone resumes at the finish.
 func (p *P) analytic(cost func() float64) {
+	if p.hyb != nil {
+		p.hybMeet(cost, nil, nil)
+		return
+	}
 	st := p.sync()
 	st.arrived++
 	cp := p.c.w.cp
@@ -679,6 +791,17 @@ func (p *P) localOf(rank int) int { return rank }
 // shareFromRoot distributes root's data through shared simulation state
 // (used by analytic collectives, whose cost is already accounted for).
 func (p *P) shareFromRoot(root int, data []float64) []float64 {
+	if p.hyb != nil {
+		st := p.hybMeet(nil, func(st *hybSync) {
+			if p.me == root {
+				st.acc = cloneFloats(data)
+			}
+		}, nil)
+		if p.me == root {
+			return data
+		}
+		return cloneFloats(st.acc)
+	}
 	st := p.sync()
 	st.arrived++
 	if p.me == root {
@@ -745,6 +868,32 @@ func (p *P) Reduce(root int, op Op, bytes int64, data []float64) []float64 {
 // accumulateShared combines every rank's contribution via shared state;
 // cost must already have been charged by the caller.
 func (p *P) accumulateShared(op Op, data []float64) []float64 {
+	if p.hyb != nil {
+		// Contributions are combined in ascending rank order at the last
+		// arrival — deterministic, where the DES combines in arrival order
+		// (the two can differ in the last ulp for Sum; timing is unaffected
+		// since collective cost never depends on payload values).
+		st := p.hybMeet(nil, func(st *hybSync) {
+			if data != nil {
+				if st.contrib == nil {
+					st.contrib = make([][]float64, len(p.c.group))
+				}
+				st.contrib[p.me] = data
+			}
+		}, func(st *hybSync) {
+			for _, d := range st.contrib {
+				if d == nil {
+					continue
+				}
+				if st.acc == nil {
+					st.acc = cloneFloats(d)
+				} else {
+					op.combine(st.acc, d)
+				}
+			}
+		})
+		return cloneFloats(st.acc)
+	}
 	st := p.sync()
 	if data != nil {
 		if st.acc == nil {
@@ -827,6 +976,19 @@ func (p *P) Allreduce(op Op, bytes int64, data []float64) []float64 {
 // Alltoall exchanges bytesEach with every other rank (pairwise exchange).
 func (p *P) Alltoall(bytesEach int64) {
 	n := len(p.c.group)
+	if p.useAnalytic() {
+		// The uniform case needs no per-rank size vector: the analytic cost
+		// depends only on the total, and materialising a 23,016-entry
+		// scratch per rank would dominate paper-scale heap. The integer
+		// total matches the Alltoallv sum bit-for-bit.
+		start := p.opBegin(OpAlltoall)
+		defer p.opEnd(OpAlltoall, start)
+		if n == 1 {
+			return
+		}
+		p.alltoallAnalytic(bytesEach * int64(n-1))
+		return
+	}
 	if cap(p.sizeScratch) < n {
 		p.sizeScratch = make([]int64, n)
 	}
@@ -836,6 +998,37 @@ func (p *P) Alltoall(bytesEach int64) {
 	}
 	sizes[p.me] = 0
 	p.Alltoallv(sizes)
+}
+
+// alltoallAnalytic charges the closed-form Alltoallv cost for a rank
+// sending total bytes (self excluded): injection, per-pair software
+// overhead, and a machine-bisection term. Per-pair software overhead
+// pipelines to ~1/4 of the one-way latency in SN mode; in VN mode every
+// message serialises through the node's NIC-handling core, so nothing
+// pipelines — the mechanism behind the paper's finding that the SN-over-VN
+// gap in CAM's physics is mostly its Alltoallv (§6.1).
+func (p *P) alltoallAnalytic(total int64) {
+	n := len(p.c.group)
+	alpha, invBW := p.netParams()
+	bis := p.bisectionBW()
+	overFactor := 0.25
+	sys := p.c.w.sys
+	if sys.Mode == machine.VN && sys.M.CoresPerNode > 1 {
+		overFactor = 1.0
+	}
+	p.analytic(func() float64 {
+		inj := float64(total) * invBW
+		// All ranks inject concurrently; roughly half of the total
+		// traffic crosses the machine bisection.
+		cross := float64(total) * float64(n) / 2
+		bisT := cross / bis
+		over := float64(n-1) * (alpha * overFactor)
+		t := inj + over
+		if bisT > t {
+			t = bisT
+		}
+		return t
+	})
 }
 
 // Alltoallv sends sendSizes[i] bytes to rank i (entries for self are
@@ -861,31 +1054,7 @@ func (p *P) Alltoallv(sendSizes []int64) {
 				total += s
 			}
 		}
-		alpha, invBW := p.netParams()
-		bis := p.bisectionBW()
-		// Per-pair software overhead pipelines to ~1/4 of the one-way
-		// latency in SN mode; in VN mode every message serialises through
-		// the node's NIC-handling core, so nothing pipelines — this is the
-		// mechanism behind the paper's finding that the SN-over-VN gap in
-		// CAM's physics is mostly its Alltoallv (§6.1).
-		overFactor := 0.25
-		sys := p.c.w.sys
-		if sys.Mode == machine.VN && sys.M.CoresPerNode > 1 {
-			overFactor = 1.0
-		}
-		p.analytic(func() float64 {
-			inj := float64(total) * invBW
-			// All ranks inject concurrently; roughly half of the total
-			// traffic crosses the machine bisection.
-			cross := float64(total) * float64(n) / 2
-			bisT := cross / bis
-			over := float64(n-1) * (alpha * overFactor)
-			t := inj + over
-			if bisT > t {
-				t = bisT
-			}
-			return t
-		})
+		p.alltoallAnalytic(total)
 		return
 	}
 	reqs := p.reqScratch[:0]
@@ -971,6 +1140,9 @@ func (p *P) Scatter(root int, bytesEach int64) {
 // (key, rank), and returns the calling rank's view of its new
 // communicator. Like MPI_Comm_split, it is collective.
 func (p *P) Split(color, key int) *P {
+	if p.hyb != nil {
+		return p.hybSplit(color, key)
+	}
 	type entry struct{ color, key, rank int }
 	st := p.sync()
 	if st.shared == nil {

@@ -18,6 +18,7 @@ import "xtsim/internal/sim"
 // off one cache line.
 type wpool struct {
 	freeFlights *flight
+	freeSlots   *matchSlot
 	payload     [][]float64
 	sentMsgs    uint64
 	sentBytes   uint64
@@ -114,6 +115,11 @@ func (p *P) clonePayload(d []float64) []float64 {
 // application (Bcast data, Allreduce unfold results, user-level Recv)
 // simply leave the pool.
 func (p *P) releasePayload(s []float64) {
+	if p.hyb != nil {
+		// Hybrid ranks run on concurrent goroutines and payloads are
+		// private clones; the shared domain pool is off limits there.
+		return
+	}
 	if cap(s) > 0 {
 		p.pool.payload = append(p.pool.payload, s[:0])
 	}

@@ -83,6 +83,7 @@ type OptionsSchema struct {
 	Telemetry string `json:"telemetry"`
 	CritPath  string `json:"critpath"`
 	Shards    string `json:"shards"`
+	Hybrid    string `json:"hybrid"`
 }
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
@@ -98,6 +99,7 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 			Telemetry: "bool — attach the telemetry JSON export to experiments that collect it",
 			CritPath:  "bool — attach the critical-path JSON exports to experiments that record causal graphs",
 			Shards:    "int — parallelism inside experiments (worker-pool sweeps, sharded scheduler); rendered output is byte-identical to serial",
+			Hybrid:    "string — hybrid rank fast path: \"exact\" or \"analytic\" requests that tier, \"off\" forces the event-driven engine, \"\" keeps per-experiment defaults; \"exact\" output is byte-identical to the DES",
 		},
 	})
 }
@@ -122,6 +124,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(req.Experiments) == 0 {
 		writeError(w, http.StatusBadRequest, "experiments must name at least one experiment id (or \"all\")")
+		return
+	}
+	if err := req.Options.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "bad options: %v", err)
 		return
 	}
 

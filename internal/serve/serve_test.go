@@ -381,6 +381,16 @@ func TestRequestValidation(t *testing.T) {
 	if code, _, _ := post(t, ts.URL+"/api/v1/campaigns", `{"bogus":1}`); code != http.StatusBadRequest {
 		t.Errorf("unknown field should be 400, got %d", code)
 	}
+	if code, body, _ := post(t, ts.URL+"/api/v1/campaigns",
+		`{"experiments":["alpha"],"options":{"hybrid":"warp"}}`); code != http.StatusBadRequest ||
+		!strings.Contains(string(body), "hybrid") {
+		t.Errorf("unknown hybrid mode should be 400: HTTP %d: %s", code, body)
+	}
+	if code, body, _ := post(t, ts.URL+"/api/v1/campaigns",
+		`{"experiments":["alpha"],"options":{"shards":-2}}`); code != http.StatusBadRequest ||
+		!strings.Contains(string(body), "shards") {
+		t.Errorf("negative shards should be 400: HTTP %d: %s", code, body)
+	}
 	if code, _, _ := get(t, ts.URL+"/api/v1/jobs/job-999999"); code != http.StatusNotFound {
 		t.Errorf("unknown job should be 404, got %d", code)
 	}

@@ -19,12 +19,15 @@ type Mailbox[T any] struct {
 	waiters []*Proc
 }
 
-// grow doubles the ring (minimum 4 slots), unwrapping the live messages to
-// the front of the new storage.
+// grow doubles the ring (minimum 2 slots), unwrapping the live messages to
+// the front of the new storage. The minimum is deliberately small: the MPI
+// matching layer keeps one mailbox per (source, tag) class, and at paper
+// scale (23k ranks × several classes) idle ring slots dominate per-rank
+// heap — most flows never hold more than one in-flight message.
 func (m *Mailbox[T]) grow() {
 	nc := 2 * len(m.buf)
 	if nc == 0 {
-		nc = 4
+		nc = 2
 	}
 	nb := make([]T, nc)
 	for i := 0; i < m.n; i++ {
@@ -82,3 +85,18 @@ func (m *Mailbox[T]) TryRecv() (T, bool) {
 
 // Len reports the number of queued messages.
 func (m *Mailbox[T]) Len() int { return m.n }
+
+// Reset empties the mailbox for reuse, keeping the ring storage so a
+// recycled mailbox starts at its previous high-water capacity. Live
+// messages are zeroed (no stale references pinned) and parked receivers
+// are forgotten; callers must only Reset mailboxes with no blocked
+// receivers (the MPI matching layer resets between runs, when every
+// process has finished).
+func (m *Mailbox[T]) Reset() {
+	var zero T
+	for i := 0; i < m.n; i++ {
+		m.buf[(m.head+i)&(len(m.buf)-1)] = zero
+	}
+	m.head, m.n = 0, 0
+	m.waiters = m.waiters[:0]
+}

@@ -4,6 +4,11 @@
 // PRs. Existing snapshots under other labels are preserved, which is how
 // the file carries before/after pairs for a perf change.
 //
+// Custom metrics reported with testing.B.ReportMetric (for instance the
+// heap-B / sys-B memory footprints of the petascale benchmark) land in the
+// per-benchmark "extra" map keyed by unit, so memory bounds ride the same
+// snapshot as the timings.
+//
 // Usage (normally via scripts/bench.sh):
 //
 //	go test -run '^$' -bench . -benchmem ./... | go run ./scripts/benchsnap -label pr2
@@ -15,7 +20,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -27,6 +31,8 @@ type Bench struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Extra holds custom ReportMetric values keyed by unit (e.g. "heap-B").
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Snapshot is one labelled benchmark run.
@@ -41,8 +47,50 @@ type File struct {
 	Snapshots map[string]Snapshot `json:"snapshots"`
 }
 
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// parseBenchLine parses one `go test -bench` result line: the benchmark
+// name, the iteration count, then (value, unit) field pairs in whatever
+// order and number the run produced — ns/op and -benchmem's B/op and
+// allocs/op fill the fixed fields, anything else (custom ReportMetric
+// units, MB/s) collects under Extra. A walk over field pairs, rather than
+// one fixed regexp, is what lets new metrics ride along without a parser
+// change.
+func parseBenchLine(line string) (name string, b Bench, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Bench{}, false
+	}
+	name = fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Bench{}, false
+	}
+	b.Iters = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Bench{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = int64(v)
+		default:
+			if b.Extra == nil {
+				b.Extra = map[string]float64{}
+			}
+			b.Extra[unit] = v
+		}
+	}
+	return name, b, true
+}
 
 func main() {
 	label := flag.String("label", "current", "snapshot label to write")
@@ -60,22 +108,12 @@ func main() {
 			pkg = parts[len(parts)-1]
 			continue
 		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
+		name, b, ok := parseBenchLine(line)
+		if !ok {
 			continue
 		}
-		name := m[1]
 		if pkg != "" {
 			name = pkg + "." + name
-		}
-		b := Bench{}
-		b.Iters, _ = strconv.ParseInt(m[2], 10, 64)
-		b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[4] != "" {
-			b.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
-		}
-		if m[5] != "" {
-			b.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
 		}
 		snap.Benchmarks[name] = b
 	}

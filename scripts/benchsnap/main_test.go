@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	name, b, ok := parseBenchLine(
+		"BenchmarkFig9MPIFFT-8   \t      12\t  98765432 ns/op\t 1234 B/op\t      56 allocs/op")
+	if !ok || name != "BenchmarkFig9MPIFFT" {
+		t.Fatalf("parse failed: ok=%v name=%q", ok, name)
+	}
+	if b.Iters != 12 || b.NsPerOp != 98765432 || b.BytesPerOp != 1234 || b.AllocsPerOp != 56 {
+		t.Fatalf("parsed %+v", b)
+	}
+	if b.Extra != nil {
+		t.Fatalf("unexpected extras %v", b.Extra)
+	}
+}
+
+func TestParseBenchLineCustomMetrics(t *testing.T) {
+	// ReportMetric units appear between ns/op and -benchmem's pair, in
+	// sorted unit order; the field-pair walk must not care about position.
+	name, b, ok := parseBenchLine(
+		"BenchmarkExtPetascale-16 \t 1\t 2.5e+09 ns/op\t 4.71e+07 heap-B\t 1.2e+08 sys-B\t 300 B/op\t 7 allocs/op")
+	if !ok || name != "BenchmarkExtPetascale" {
+		t.Fatalf("parse failed: ok=%v name=%q", ok, name)
+	}
+	if b.NsPerOp != 2.5e9 || b.BytesPerOp != 300 || b.AllocsPerOp != 7 {
+		t.Fatalf("fixed fields %+v", b)
+	}
+	if b.Extra["heap-B"] != 4.71e7 || b.Extra["sys-B"] != 1.2e8 {
+		t.Fatalf("extras %v", b.Extra)
+	}
+}
+
+func TestParseBenchLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"pkg: xtsim/internal/mpi",
+		"PASS",
+		"BenchmarkBroken notanumber 5 ns/op",
+		"ok  \txtsim\t2.01s",
+	} {
+		if _, _, ok := parseBenchLine(line); ok {
+			t.Errorf("parseBenchLine(%q) accepted a non-benchmark line", line)
+		}
+	}
+}
