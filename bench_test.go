@@ -83,6 +83,12 @@ func BenchmarkExtParallelS3DShards4(b *testing.B) {
 	benchExperimentOpts(b, "ext-parallel", expt.Options{Short: true, Shards: 4})
 }
 
+// The I/O-subsystem artifacts (DESIGN.md §4j): the IOR striping sweep and
+// the checkpoint-interference study, each one full short-scale experiment
+// per iteration.
+func BenchmarkIORSweep(b *testing.B)      { benchExperiment(b, "ext-io") }
+func BenchmarkS3DCheckpoint(b *testing.B) { benchExperiment(b, "ext-ckpt") }
+
 // BenchmarkExtPetascale regenerates the ext-petascale artifact (full-machine
 // S3D strong scaling, DES reference vs hybrid fast path per cell, reduced to
 // the short cells here) and reports the process's memory footprint after the

@@ -2,7 +2,9 @@
 // simulated XT4 + Lustre deployment (Figure 1's architecture) with an
 // IOR-like workload, showing the two effects the paper's §2 describes:
 // striping multiplies a file's available disk bandwidth, and the single
-// MDS serialises metadata storms.
+// MDS serialises metadata storms. The OSSes live on reserved SIO nodes,
+// so every byte crosses real torus links (DESIGN.md §4j); I/O telemetry
+// reports per-OST utilization alongside the IOR bandwidth numbers.
 package main
 
 import (
@@ -11,8 +13,10 @@ import (
 	"text/tabwriter"
 
 	"xtsim/internal/core"
+	ckpt "xtsim/internal/io"
 	"xtsim/internal/lustre"
 	"xtsim/internal/machine"
+	"xtsim/internal/mpi"
 )
 
 func main() {
@@ -20,11 +24,13 @@ func main() {
 	fmt.Printf("Lustre: %d OSS x %d OST, %.0f MB/s per OST, single MDS @ %.0f µs/op\n\n",
 		cfg.OSSCount, cfg.OSTsPerOSS, cfg.OSTBandwidth/1e6, cfg.MDSOpLatency*1e6)
 
-	// Stripe-count sweep: 32 clients writing a shared file.
+	// Stripe-count sweep: 32 clients writing a shared file over the torus
+	// into the SIO partition, with telemetry watching the OSTs.
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "stripes\twrite GB/s\tread GB/s")
+	fmt.Fprintln(tw, "stripes\twrite GB/s\tread GB/s\tOST util mean/max")
 	for _, stripes := range []int{1, 2, 4, 8, 16, 32, 64} {
-		sys := core.NewSystem(machine.XT4(), machine.SN, 32)
+		sys := core.NewSystemSIO(machine.XT4(), machine.SN, 32, cfg.OSSCount)
+		sys.EnableTelemetry()
 		res, err := lustre.RunIOR(sys, cfg, lustre.IORParams{
 			Tasks:        32,
 			BytesPerTask: 32 << 20,
@@ -35,7 +41,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(tw, "%d\t%.2f\t%.2f\n", stripes, res.WriteBW/1e9, res.ReadBW/1e9)
+		rep := sys.TelemetryReport()
+		if err := rep.IO.CheckConservation(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(tw, "%d\t%.2f\t%.2f\t%.3f/%.3f\n", stripes,
+			res.WriteBW/1e9, res.ReadBW/1e9,
+			rep.IO.OSTMeanUtilization, rep.IO.OSTMaxUtilization)
 	}
 	tw.Flush()
 
@@ -44,7 +57,7 @@ func main() {
 	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "clients\tmetadata phase (ms)")
 	for _, clients := range []int{16, 64, 256, 1024} {
-		sys := core.NewSystem(machine.XT4(), machine.SN, clients)
+		sys := core.NewSystemSIO(machine.XT4(), machine.SN, clients, cfg.OSSCount)
 		res, err := lustre.RunIOR(sys, cfg, lustre.IORParams{
 			Tasks:          clients,
 			BytesPerTask:   1 << 20,
@@ -60,4 +73,28 @@ func main() {
 	}
 	tw.Flush()
 	fmt.Println("\nmetadata time grows linearly with clients: the single-MDS bottleneck of §2.")
+
+	// Checkpoint writer: the primitive apps call between iterations. Two
+	// epochs, N-to-M collective buffering — only the aggregators touch the
+	// filesystem, but every rank's bytes land on the OSTs.
+	fmt.Println("\ncheckpoint writer (16 ranks, 4 aggregators, 8 MiB/rank, 2 epochs):")
+	sys := core.NewSystemSIO(machine.XT4(), machine.SN, 16, cfg.OSSCount)
+	sys.EnableTelemetry()
+	w, err := ckpt.Attach(sys, ckpt.Config{Mode: ckpt.NtoM, Aggregators: 4, StripeCount: 8})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	mpi.Run(sys, mpi.Algorithmic, func(p *mpi.P) {
+		w.Checkpoint(p, 8<<20)      // blocking epoch
+		w.CheckpointAsync(p, 8<<20) // write-behind epoch
+		w.Drain(p)
+	})
+	rep := sys.TelemetryReport()
+	if err := rep.IO.CheckConservation(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("epochs=%d  client GB written=%.2f  MDS ops=%d  (conservation: client bytes == Σ per-OST bytes ✓)\n",
+		w.Epochs, float64(rep.IO.ClientBytesWritten)/1e9, int(rep.IO.MDSOps))
 }

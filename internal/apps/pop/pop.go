@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"xtsim/internal/core"
+	ckpt "xtsim/internal/io"
 	"xtsim/internal/machine"
 	"xtsim/internal/mpi"
 )
@@ -34,6 +35,21 @@ type Benchmark struct {
 	// ChronopoulosGear selects the single-reduction CG variant (half the
 	// Allreduce calls).
 	ChronopoulosGear bool
+	// SimSteps is how many baroclinic+barotropic step pairs to simulate
+	// (0 means 1, the classic single-slice proxy). Multi-step runs exist
+	// so checkpoint flushes interleave with the following steps' traffic;
+	// reported per-day costs are scaled from the per-step mean.
+	SimSteps int
+	// Checkpoint, when non-nil, is the checkpoint writer (internal/io);
+	// every CheckpointEvery steps the ranks drain the previous flush and
+	// issue a write-behind checkpoint of CheckpointBytes per rank.
+	Checkpoint *ckpt.Writer
+	// CheckpointEvery is the step cadence between checkpoints; 0 disables
+	// checkpointing even with a Writer set.
+	CheckpointEvery int
+	// CheckpointBytes is the per-rank checkpoint payload; 0 derives it
+	// from the block (8 bytes × 4 prognostic fields × bx×by×NZ).
+	CheckpointBytes int64
 }
 
 // TenthDegree returns the paper's 0.1-degree benchmark configuration.
@@ -114,6 +130,14 @@ func Run(m machine.Machine, mode machine.Mode, tasks int, b Benchmark) Result {
 	if tasks < 1 {
 		panic(fmt.Sprintf("pop: tasks = %d", tasks))
 	}
+	return RunOn(core.NewSystem(m, mode, tasks), b)
+}
+
+// RunOn executes the proxy on a caller-prepared system (for instance one
+// with telemetry, critical-path recording, or a checkpoint writer); the
+// machine, mode and task count come from the system.
+func RunOn(sys *core.System, b Benchmark) Result {
+	m, mode, tasks := sys.M, sys.Mode, sys.NumTasks
 	px, py := decompose(tasks, b.NX, b.NY)
 	bx := (b.NX + px - 1) / px
 	by := (b.NY + py - 1) / py
@@ -122,8 +146,15 @@ func Run(m machine.Machine, mode machine.Mode, tasks int, b Benchmark) Result {
 	if b.ChronopoulosGear {
 		reductionsPerIter = 1
 	}
+	steps := b.SimSteps
+	if steps < 1 {
+		steps = 1
+	}
+	ckptBytes := b.CheckpointBytes
+	if ckptBytes == 0 {
+		ckptBytes = 8 * 4 * int64(bx) * int64(by) * int64(b.NZ)
+	}
 
-	sys := core.NewSystem(m, mode, tasks)
 	var tBaroclinic, tBarotropic, tAllreduce, allreduceShare float64
 
 	elapsed := mpi.Run(sys, mpi.Auto, func(p *mpi.P) {
@@ -135,44 +166,60 @@ func Run(m machine.Machine, mode machine.Mode, tasks int, b Benchmark) Result {
 		east := wrap(myX+1, myY, px, py)
 		west := wrap(myX-1, myY, px, py)
 
-		start := p.Now()
+		for st := 0; st < steps; st++ {
+			start := p.Now()
 
-		// --- Baroclinic phase: 3-D stencil advance + halo exchange. ---
-		pts3 := float64(bx) * float64(by) * float64(b.NZ)
-		p.Compute(core.Work{
-			Flops:       pts3 * baroclinicFlopsPerPoint,
-			FlopEff:     baroclinicFlopEff,
-			StreamBytes: pts3 * baroclinicBytesPerPoint,
-			LoopLen:     bx,
-		})
-		// Halo: two exchanges (predictor/corrector), four neighbours each,
-		// ghost width × face area × nz × 8 bytes.
-		ewBytes := int64(by) * int64(b.NZ) * haloWidth * 8
-		nsBytes := int64(bx) * int64(b.NZ) * haloWidth * 8
-		for ex := 0; ex < 2; ex++ {
-			reqs := []*mpi.Request{
-				p.Isend(east, 1, ewBytes), p.Isend(west, 2, ewBytes),
-				p.Isend(north, 3, nsBytes), p.Isend(south, 4, nsBytes),
-				p.Irecv(west, 1), p.Irecv(east, 2),
-				p.Irecv(south, 3), p.Irecv(north, 4),
+			// --- Baroclinic phase: 3-D stencil advance + halo exchange. ---
+			pts3 := float64(bx) * float64(by) * float64(b.NZ)
+			p.Compute(core.Work{
+				Flops:       pts3 * baroclinicFlopsPerPoint,
+				FlopEff:     baroclinicFlopEff,
+				StreamBytes: pts3 * baroclinicBytesPerPoint,
+				LoopLen:     bx,
+			})
+			// Halo: two exchanges (predictor/corrector), four neighbours each,
+			// ghost width × face area × nz × 8 bytes.
+			ewBytes := int64(by) * int64(b.NZ) * haloWidth * 8
+			nsBytes := int64(bx) * int64(b.NZ) * haloWidth * 8
+			for ex := 0; ex < 2; ex++ {
+				reqs := []*mpi.Request{
+					p.Isend(east, 1, ewBytes), p.Isend(west, 2, ewBytes),
+					p.Isend(north, 3, nsBytes), p.Isend(south, 4, nsBytes),
+					p.Irecv(west, 1), p.Irecv(east, 2),
+					p.Irecv(south, 3), p.Irecv(north, 4),
+				}
+				p.Wait(reqs...)
 			}
-			p.Wait(reqs...)
-		}
-		p.Barrier()
-		if me == 0 {
-			tBaroclinic = p.Now() - start
-		}
-		mid := p.Now()
+			p.Barrier()
+			if me == 0 {
+				tBaroclinic += p.Now() - start
+			}
+			mid := p.Now()
 
-		// --- Barotropic phase: CG on the 2-D surface system. ---
-		barotropicPhase(p, px, py, bx, by, reductionsPerIter)
+			// --- Barotropic phase: CG on the 2-D surface system. ---
+			barotropicPhase(p, px, py, bx, by, reductionsPerIter)
+			if me == 0 {
+				tBarotropic += p.Now() - mid
+			}
+			// Checkpoint cadence: the epoch drains the previous write-behind
+			// flush, then issues this one; the flush traffic overlaps the
+			// following steps' halo and Allreduce traffic.
+			if b.Checkpoint != nil && b.CheckpointEvery > 0 && (st+1)%b.CheckpointEvery == 0 {
+				b.Checkpoint.CheckpointAsync(p, ckptBytes)
+			}
+		}
+		if b.Checkpoint != nil && b.CheckpointEvery > 0 {
+			b.Checkpoint.Drain(p)
+		}
 		if me == 0 {
-			tBarotropic = p.Now() - mid
 			tAllreduce = p.Profile().Seconds[mpi.OpAllreduce]
 			allreduceShare = p.Profile().Share(mpi.OpAllreduce, tBarotropic)
 		}
 	})
 	_ = elapsed
+	tBaroclinic /= float64(steps)
+	tBarotropic /= float64(steps)
+	tAllreduce /= float64(steps)
 
 	// Scale the simulated slice to a full model day.
 	baroDay := tBaroclinic * float64(b.StepsPerDay)

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"xtsim/internal/core"
+	ckpt "xtsim/internal/io"
 	"xtsim/internal/kernels"
 	"xtsim/internal/machine"
 	"xtsim/internal/mpi"
@@ -39,6 +40,21 @@ type Benchmark struct {
 	// rank routes over — the placement the hybrid fast path's exact tier
 	// requires (DESIGN.md §4i).
 	Grid [3]int
+	// Steps is the number of RK time steps to advance (0 means 1, the
+	// classic single-step proxy). Multi-step runs exist so checkpoint
+	// flushes can genuinely interleave with the following steps' traffic.
+	Steps int
+	// Checkpoint, when non-nil, is the checkpoint writer (internal/io);
+	// every CheckpointEvery steps the ranks drain the previous flush and
+	// issue a write-behind checkpoint of CheckpointBytes per rank.
+	Checkpoint *ckpt.Writer
+	// CheckpointEvery is the step cadence between checkpoints; 0 disables
+	// checkpointing even with a Writer set.
+	CheckpointEvery int
+	// CheckpointBytes is the per-rank checkpoint payload; 0 derives it
+	// from the subdomain (8 bytes × Variables × PointsPerEdge³ — the full
+	// field state).
+	CheckpointBytes int64
 }
 
 // Weak50 returns the paper's weak-scaling benchmark: 50³ points per task.
@@ -65,11 +81,17 @@ const (
 type Result struct {
 	Tasks   int
 	Sockets int
-	// SecondsPerStep is the simulated wall time of one RK step.
+	// SecondsPerStep is the simulated wall time per RK step (elapsed over
+	// all Steps, checkpoint time included, divided by the step count).
 	SecondsPerStep float64
 	// CostPerPointUS is Figure 22's metric: core time per grid point per
 	// time step, in microseconds.
 	CostPerPointUS float64
+	// ComputePhaseSeconds is rank 0's mean per-step time over the compute
+	// phase alone — the checkpoint/drain/quiesce window is excluded, so
+	// comparing it against a no-checkpoint run isolates how much checkpoint
+	// traffic slows the steps themselves (network interference).
+	ComputePhaseSeconds float64
 }
 
 // decompose3 splits tasks into px×py×pz as cubically as possible.
@@ -125,6 +147,16 @@ func RunOn(sys *core.System, b Benchmark) Result {
 	derivBytes := kernels.HaloBytesPerFace(n, n, kernels.Deriv8Width, b.Variables)
 	filterBytes := kernels.HaloBytesPerFace(n, n, kernels.Filter10Width, b.Variables)
 
+	steps := b.Steps
+	if steps < 1 {
+		steps = 1
+	}
+	ckptBytes := b.CheckpointBytes
+	if ckptBytes == 0 {
+		ckptBytes = 8 * int64(b.Variables) * int64(n) * int64(n) * int64(n)
+	}
+	var phaseSeconds float64
+
 	// The proxy is pure point-to-point (ghost exchanges, no collectives),
 	// so Algorithmic and Auto are behaviourally identical — but declaring
 	// Algorithmic keeps the sharded parallel scheduler engaged at scale
@@ -155,33 +187,49 @@ func RunOn(sys *core.System, b Benchmark) Result {
 			p.Wait(reqs...)
 		}
 
-		// Six RK stages: ghost exchange then derivative + RHS evaluation.
-		for s := 0; s < b.RKStages; s++ {
-			exchange(derivBytes, 10*s)
+		for st := 0; st < steps; st++ {
+			t0 := p.Now()
+			// Six RK stages: ghost exchange then derivative + RHS evaluation.
+			for s := 0; s < b.RKStages; s++ {
+				exchange(derivBytes, 10*s)
+				p.Compute(core.Work{
+					Flops:       pts * flopsPerPointPerStage,
+					FlopEff:     s3dFlopEff,
+					StreamBytes: pts * bytesPerPointPerStage,
+					LoopLen:     n,
+				})
+			}
+			// Filter pass once per step.
+			exchange(filterBytes, 100)
 			p.Compute(core.Work{
-				Flops:       pts * flopsPerPointPerStage,
+				Flops:       pts * flopsPerPointPerStage * 0.4,
 				FlopEff:     s3dFlopEff,
-				StreamBytes: pts * bytesPerPointPerStage,
+				StreamBytes: pts * bytesPerPointPerStage * 0.4,
 				LoopLen:     n,
 			})
+			if me == 0 {
+				phaseSeconds += p.Now() - t0
+			}
+			// Checkpoint cadence: the epoch drains the previous
+			// write-behind flush, then issues this one. The flush traffic
+			// overlaps the following steps' halo exchanges on the torus.
+			if b.Checkpoint != nil && b.CheckpointEvery > 0 && (st+1)%b.CheckpointEvery == 0 {
+				b.Checkpoint.CheckpointAsync(p, ckptBytes)
+			}
 		}
-		// Filter pass once per step.
-		exchange(filterBytes, 100)
-		p.Compute(core.Work{
-			Flops:       pts * flopsPerPointPerStage * 0.4,
-			FlopEff:     s3dFlopEff,
-			StreamBytes: pts * bytesPerPointPerStage * 0.4,
-			LoopLen:     n,
-		})
+		if b.Checkpoint != nil && b.CheckpointEvery > 0 {
+			b.Checkpoint.Drain(p)
+		}
 	})
 
 	return Result{
 		Tasks:          tasks,
 		Sockets:        sockets(m, mode, tasks),
-		SecondsPerStep: elapsed,
+		SecondsPerStep: elapsed / float64(steps),
 		// Figure 22: core time per grid point per step. Each task is one
 		// core, so core-time = elapsed per task.
-		CostPerPointUS: elapsed / pts * 1e6,
+		CostPerPointUS:      elapsed / float64(steps) / pts * 1e6,
+		ComputePhaseSeconds: phaseSeconds / float64(steps),
 	}
 }
 

@@ -94,6 +94,8 @@ func (s *System) EnableHybrid(tier HybridTier) bool {
 		reason = "tracer ordering needs the event schedule"
 	case s.NoiseAmp > 0:
 		reason = "noise RNG is a shared sequential stream"
+	case s.ioAttached:
+		reason = ioSharedReason
 	case tier == HybridExact && s.TasksPerNode != 1:
 		reason = "VN placement queues on the shared NIC proxy core"
 	}

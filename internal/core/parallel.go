@@ -53,6 +53,8 @@ func (s *System) EnableParallel(shards int) bool {
 		reason = "tracer ordering is cross-domain shared state"
 	case s.NoiseAmp > 0:
 		reason = "noise RNG is a shared sequential stream"
+	case s.ioAttached:
+		reason = ioSharedReason
 	}
 	if reason == "" {
 		part := torus.NewPartition(s.Fabric.Tor, shards)

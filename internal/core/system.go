@@ -84,6 +84,14 @@ type System struct {
 	// hybrid.go.
 	hybTier   HybridTier
 	hybReason string
+
+	// ioAttached marks that an I/O subsystem (lustre filesystem, checkpoint
+	// writer) registered itself via AttachIO. Its MDS/OSS/OST resources are
+	// engine-global shared state, so the parallel scheduler and the hybrid
+	// fast path decline while it is set. ioReport, when non-nil, contributes
+	// the I/O section of TelemetryReport.
+	ioAttached bool
+	ioReport   func(horizon float64) *telemetry.IOReport
 }
 
 // NewSystem builds a system for nTasks MPI tasks on machine m in the given
@@ -91,20 +99,33 @@ type System struct {
 // CoresPerNode to a node. Single-core machines treat both modes
 // identically.
 func NewSystem(m machine.Machine, mode machine.Mode, nTasks int) *System {
+	return NewSystemSIO(m, mode, nTasks, 0)
+}
+
+// NewSystemSIO builds a system whose torus also carries sioNodes reserved
+// service-I/O nodes at the top of the node-id range (network.NewWithSIO).
+// Compute tasks place onto nodes [0, nNodes) exactly as in NewSystem; the
+// Lustre layer places its OSS servers on the SIO partition, so checkpoint
+// and I/O traffic crosses real torus links and contends with compute-phase
+// messages.
+func NewSystemSIO(m machine.Machine, mode machine.Mode, nTasks, sioNodes int) *System {
 	if err := m.Validate(); err != nil {
 		panic(err)
 	}
 	if nTasks < 1 {
 		panic(fmt.Sprintf("core: nTasks = %d", nTasks))
 	}
+	if sioNodes < 0 {
+		panic(fmt.Sprintf("core: sioNodes = %d", sioNodes))
+	}
 	tasksPerNode := 1
 	if mode == machine.VN && m.CoresPerNode > 1 {
 		tasksPerNode = m.CoresPerNode
 	}
 	nNodes := (nTasks + tasksPerNode - 1) / tasksPerNode
-	if nNodes > m.TotalNodes {
-		panic(fmt.Sprintf("core: %d tasks in %v mode needs %d nodes but %s has %d",
-			nTasks, mode, nNodes, m.Name, m.TotalNodes))
+	if nNodes+sioNodes > m.TotalNodes {
+		panic(fmt.Sprintf("core: %d tasks in %v mode plus %d SIO nodes needs %d nodes but %s has %d",
+			nTasks, mode, sioNodes, nNodes+sioNodes, m.Name, m.TotalNodes))
 	}
 
 	eng := sim.NewEngine()
@@ -112,7 +133,7 @@ func NewSystem(m machine.Machine, mode machine.Mode, nTasks int) *System {
 		Eng:          eng,
 		M:            m,
 		Mode:         mode,
-		Fabric:       network.New(eng, m, nNodes),
+		Fabric:       network.NewWithSIO(eng, m, nNodes, sioNodes),
 		NumTasks:     nTasks,
 		TasksPerNode: tasksPerNode,
 		Rng:          rand.New(rand.NewSource(1)),
@@ -146,12 +167,16 @@ func (s *System) TelemetryReport() *telemetry.Report {
 		return nil
 	}
 	horizon := s.Eng.Now()
-	return &telemetry.Report{
+	rep := &telemetry.Report{
 		SchemaVersion:  telemetry.SchemaVersion,
 		HorizonSeconds: horizon,
 		Fabric:         s.Fabric.TelemetryReport(horizon),
 		MPI:            s.Tel.MPI.Report(),
 	}
+	if s.ioReport != nil {
+		rep.IO = s.ioReport(horizon)
+	}
+	return rep
 }
 
 // EnableCritPath switches on causal recording for this system: the fabric
@@ -166,6 +191,30 @@ func (s *System) EnableCritPath() *System {
 		s.Fabric.EnableCritPath(s.CP)
 	}
 	return s
+}
+
+// ioSharedReason is the admission/fallback reason recorded when the I/O
+// subsystem forces the simulator onto the serial DES.
+const ioSharedReason = "I/O subsystem resources (MDS, OSS/OST) are engine-global shared state"
+
+// AttachIO registers an I/O subsystem (a Lustre filesystem, typically via
+// lustre.Attach) with the system. From here on the parallel scheduler and
+// the hybrid fast path decline — the filesystem's MDS FIFO queue and
+// OSS/OST processor-sharing resources are engine-global, so sharded or
+// free-running execution would race on them — and an already-admitted fast
+// path is revoked before it can diverge. report, when non-nil, supplies
+// the I/O section of TelemetryReport.
+func (s *System) AttachIO(report func(horizon float64) *telemetry.IOReport) {
+	s.ioAttached = true
+	if report != nil {
+		s.ioReport = report
+	}
+	if s.par != nil {
+		s.DisableParallel(ioSharedReason)
+	}
+	if s.hybTier != HybridOff {
+		s.DisableHybrid(ioSharedReason)
+	}
 }
 
 // CritPathReport walks the recorded causal graph backwards from the

@@ -13,6 +13,7 @@ const (
 	catQueueWait
 	catNICInjection
 	catLinkTransit
+	catIOWait
 	numCats
 )
 
@@ -22,6 +23,7 @@ var catNames = [numCats]string{
 	catQueueWait:    "queue_wait",
 	catNICInjection: "nic_injection",
 	catLinkTransit:  "link_transit",
+	catIOWait:       "io_wait",
 }
 
 // DefaultTopK is the contributor-list length when AnalyzeOptions leaves
@@ -151,6 +153,8 @@ func (r *Recorder) Analyze(o AnalyzeOptions) *Report {
 				addCat(catQueueWait, qw)
 				addCat(catNICInjection, inj)
 				addCat(catMPIWait, span-qw-inj)
+			} else if w.Kind == KindIO {
+				addCat(catIOWait, span)
 			} else {
 				addCat(catMPIWait, span)
 			}

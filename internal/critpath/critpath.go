@@ -59,6 +59,11 @@ const (
 	// KindColl is a blocked analytic collective; the wait's edge is the
 	// last-arrival dependency on the rank that completed the group.
 	KindColl
+	// KindIO is a blocked file-system operation (checkpoint flush, drain,
+	// metadata storm): edgeless, attributed in place to the io_wait
+	// category. Not counted as slack — the rank is held by storage, not by
+	// another rank.
+	KindIO
 )
 
 // EdgeKind distinguishes the two happens-before edge shapes.

@@ -11,9 +11,9 @@ import (
 // Attribution is one category's share of the critical path.
 type Attribution struct {
 	// Category is one of the fixed set: "compute", "mpi_wait",
-	// "queue_wait", "nic_injection", "link_transit".
+	// "queue_wait", "nic_injection", "link_transit", "io_wait".
 	Category string `json:"category"`
-	// Seconds is path time attributed to the category; the five categories
+	// Seconds is path time attributed to the category; the six categories
 	// sum to MakespanSeconds (within float addition error).
 	Seconds float64 `json:"seconds"`
 	// Share is Seconds / MakespanSeconds, rounded to 1e-6.
@@ -55,7 +55,7 @@ type Report struct {
 	// PathSteps and PathHops count walk iterations and cross-rank jumps.
 	PathSteps int `json:"path_steps"`
 	PathHops  int `json:"path_hops"`
-	// Attribution splits the path into the five categories, fixed order.
+	// Attribution splits the path into the six categories, fixed order.
 	Attribution []Attribution `json:"attribution"`
 	// ByClass lists path time per MPI op class (untruncated); ByRank and
 	// ByLink are top-k lists. All are seconds-descending.
@@ -85,7 +85,7 @@ func (r *Report) Class(name string) Contributor {
 	return Contributor{Name: name}
 }
 
-// AttributionSum is the five categories' total — by construction equal to
+// AttributionSum is the six categories' total — by construction equal to
 // MakespanSeconds up to float addition error; experiments assert the
 // difference stays under 1e-9 s.
 func (r *Report) AttributionSum() float64 {

@@ -93,6 +93,11 @@ type Options struct {
 	// abort back to the DES mid-run) — both are output-transparent, since
 	// the exact tier is bit-identical and fallbacks re-run on the DES.
 	Hybrid string `json:"hybrid"`
+	// CkptEvery overrides the checkpoint cadence (steps between checkpoint
+	// epochs) of checkpoint-aware experiments (ext-ckpt), set by `xtsim
+	// -ckpt-every`. 0 keeps each experiment's default cadence; experiments
+	// without checkpoint phases ignore it.
+	CkptEvery int `json:"ckpt_every"`
 }
 
 // Validate rejects option values outside the documented domain, so the CLI
@@ -107,6 +112,9 @@ func (o Options) Validate() error {
 	case "", "off", "exact", "analytic":
 	default:
 		return fmt.Errorf("expt: unknown hybrid mode %q (want \"\", \"off\", \"exact\" or \"analytic\")", o.Hybrid)
+	}
+	if o.CkptEvery < 0 {
+		return fmt.Errorf("expt: ckpt-every must be >= 0 (got %d)", o.CkptEvery)
 	}
 	return nil
 }

@@ -10,12 +10,12 @@ import (
 // adding a field must extend Canonical (and this count), or two
 // differently-configured runs would share a cache key.
 func TestCanonicalCoversAllOptionFields(t *testing.T) {
-	const covered = 5 // short, telemetry, critpath, shards, hybrid
+	const covered = 6 // short, telemetry, critpath, shards, hybrid, ckptevery
 	if n := reflect.TypeOf(Options{}).NumField(); n != covered {
 		t.Fatalf("Options has %d fields but Canonical renders %d; update Options.Canonical and CacheKey docs, then this count", n, covered)
 	}
-	c := Options{Short: true, Telemetry: true, CritPath: true, Shards: 4, Hybrid: "exact"}.Canonical()
-	for _, want := range []string{"short=true", "telemetry=true", "critpath=true", "shards=4", "hybrid=exact"} {
+	c := Options{Short: true, Telemetry: true, CritPath: true, Shards: 4, Hybrid: "exact", CkptEvery: 3}.Canonical()
+	for _, want := range []string{"short=true", "telemetry=true", "critpath=true", "shards=4", "hybrid=exact", "ckptevery=3"} {
 		if !strings.Contains(c, want) {
 			t.Errorf("Canonical() = %q missing %q", c, want)
 		}
@@ -32,6 +32,7 @@ func TestOptionsValidate(t *testing.T) {
 		{Hybrid: "off"},
 		{Hybrid: "exact"},
 		{Hybrid: "analytic"},
+		{CkptEvery: 4},
 	} {
 		if err := o.Validate(); err != nil {
 			t.Errorf("Validate(%+v) = %v, want nil", o, err)
@@ -42,6 +43,7 @@ func TestOptionsValidate(t *testing.T) {
 		{Hybrid: "Exact"},
 		{Hybrid: "on"},
 		{Hybrid: "des"},
+		{CkptEvery: -1},
 	} {
 		if err := o.Validate(); err == nil {
 			t.Errorf("Validate(%+v) = nil, want error", o)
@@ -64,6 +66,7 @@ func TestCacheKeyStableAndSensitive(t *testing.T) {
 		"critpath":  CacheKey("fig8", Options{Short: true, CritPath: true}, "v1"),
 		"shards":    CacheKey("fig8", Options{Short: true, Shards: 4}, "v1"),
 		"hybrid":    CacheKey("fig8", Options{Short: true, Hybrid: "exact"}, "v1"),
+		"ckptevery": CacheKey("fig8", Options{Short: true, CkptEvery: 3}, "v1"),
 		"version":   CacheKey("fig8", Options{Short: true}, "v2"),
 	}
 	seen := map[string]string{base: "base"}

@@ -27,12 +27,15 @@ func renderExpt(t *testing.T, id string, o Options) string {
 // spanning all three parallel paths — campaign-cell sweeps (fig9, fig11),
 // the admission fallback (congestion declines under telemetry), and the
 // sharded discrete-event scheduler itself (ext-parallel) — rendered output
-// at -shards 4 is byte-identical to the serial run.
+// at -shards 4 is byte-identical to the serial run. The I/O experiments
+// (ext-io, ext-ckpt) exercise the conservative fallback: their cells fan
+// out on the worker pool, but within each cell the engine must stay serial
+// (telemetry, then the I/O attach — see TestExtCkptShardsFallbackReason).
 func TestShardsOutputByteIdentical(t *testing.T) {
 	if testing.Short() {
-		t.Skip("renders four experiments twice")
+		t.Skip("renders six experiments twice")
 	}
-	for _, id := range []string{"fig9", "fig11", "congestion", "ext-parallel"} {
+	for _, id := range []string{"fig9", "fig11", "congestion", "ext-parallel", "ext-io", "ext-ckpt"} {
 		serial := renderExpt(t, id, Options{Short: true})
 		sharded := renderExpt(t, id, Options{Short: true, Shards: 4})
 		if serial != sharded {

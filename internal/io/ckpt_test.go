@@ -1,0 +1,151 @@
+package ckpt_test
+
+import (
+	"math"
+	"testing"
+
+	"xtsim/internal/apps/s3d"
+	"xtsim/internal/core"
+	ckpt "xtsim/internal/io"
+	"xtsim/internal/lustre"
+	"xtsim/internal/machine"
+	"xtsim/internal/mpi"
+)
+
+// narrowFS is the ext-ckpt deployment: a 4-OSS SIO partition, so flush
+// traffic funnels through few torus ingress links.
+func narrowFS() lustre.Config {
+	cfg := lustre.DefaultConfig()
+	cfg.OSSCount = 4
+	return cfg
+}
+
+// runS3D runs the checkpointed S3D proxy; mode 0 = no checkpoints,
+// 1 = checkpoints over the torus, 2 = checkpoints with fabric bypass.
+func runS3D(t *testing.T, tasks, edge, mode int) (s3d.Result, *core.System) {
+	t.Helper()
+	sys := core.NewSystemSIO(machine.XT4(), machine.SN, tasks, 4)
+	sys.EnableTelemetry()
+	b := s3d.Benchmark{
+		PointsPerEdge: edge, Variables: 12, RKStages: 6, Steps: 5,
+		CheckpointBytes: 4 * 8 * 12 * int64(edge) * int64(edge) * int64(edge),
+	}
+	if mode > 0 {
+		w, err := ckpt.Attach(sys, ckpt.Config{FS: narrowFS(), StripeCount: 4, DisableTraffic: mode == 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Checkpoint = w
+		b.CheckpointEvery = 1
+	}
+	return s3d.RunOn(sys, b), sys
+}
+
+// TestCheckpointInterferenceAndExactControlArm is the subsystem's core
+// claim: checkpoint flushes sharing torus links with halo traffic slow the
+// compute phase by a nonzero, deterministic amount, and routing the same
+// flushes around the fabric restores the no-checkpoint schedule exactly
+// (within float round-off of the skew-preserving quiesce).
+func TestCheckpointInterferenceAndExactControlArm(t *testing.T) {
+	const tasks, edge = 8, 24
+	base, _ := runS3D(t, tasks, edge, 0)
+	on, _ := runS3D(t, tasks, edge, 1)
+	off, _ := runS3D(t, tasks, edge, 2)
+
+	slowOn := on.ComputePhaseSeconds/base.ComputePhaseSeconds - 1
+	slowOff := off.ComputePhaseSeconds/base.ComputePhaseSeconds - 1
+	if slowOn <= 1e-6 {
+		t.Errorf("torus-routed checkpoints slowed the compute phase by %.3e, want clearly nonzero", slowOn)
+	}
+	if math.Abs(slowOff) > 1e-9 {
+		t.Errorf("fabric-bypassed checkpoints perturbed the compute phase by %.3e, want ~0", slowOff)
+	}
+
+	on2, _ := runS3D(t, tasks, edge, 1)
+	if on2.ComputePhaseSeconds != on.ComputePhaseSeconds || on2.SecondsPerStep != on.SecondsPerStep {
+		t.Error("checkpointed run is not deterministic across repeats")
+	}
+}
+
+// TestCheckpointConservation checks the §4j invariant on a checkpointed
+// app run: every byte a client wrote appears on exactly one OST.
+func TestCheckpointConservation(t *testing.T) {
+	const tasks, edge = 8, 24
+	for mode := 1; mode <= 2; mode++ {
+		_, sys := runS3D(t, tasks, edge, mode)
+		rep := sys.TelemetryReport()
+		if rep.IO == nil {
+			t.Fatal("telemetry report has no IO section")
+		}
+		if err := rep.IO.CheckConservation(); err != nil {
+			t.Errorf("mode %d: %v", mode, err)
+		}
+		wantBytes := int64(tasks) * 5 * 4 * 8 * 12 * int64(edge) * int64(edge) * int64(edge)
+		if rep.IO.ClientBytesWritten != wantBytes {
+			t.Errorf("mode %d: clients wrote %d bytes, want %d (5 epochs × %d ranks)", mode, rep.IO.ClientBytesWritten, wantBytes, tasks)
+		}
+		if err := rep.Fabric.CheckConservation(); err != nil {
+			t.Errorf("mode %d: %v", mode, err)
+		}
+	}
+}
+
+// TestNtoMAggregation: with collective buffering only aggregators touch
+// the filesystem, but every rank's bytes still land on the OSTs.
+func TestNtoMAggregation(t *testing.T) {
+	const tasks = 8
+	const bytesPerRank = 1 << 20
+	sys := core.NewSystemSIO(machine.XT4(), machine.SN, tasks, 4)
+	sys.EnableTelemetry()
+	w, err := ckpt.Attach(sys, ckpt.Config{FS: narrowFS(), Mode: ckpt.NtoM, Aggregators: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpi.Run(sys, mpi.Algorithmic, func(p *mpi.P) {
+		w.Checkpoint(p, bytesPerRank)
+		w.CheckpointAsync(p, bytesPerRank)
+		w.Drain(p)
+	})
+	rep := sys.TelemetryReport()
+	if got, want := rep.IO.ClientBytesWritten, int64(2*tasks*bytesPerRank); got != want {
+		t.Errorf("aggregators wrote %d bytes, want %d (2 epochs × %d ranks)", got, want, tasks)
+	}
+	if err := rep.IO.CheckConservation(); err != nil {
+		t.Error(err)
+	}
+	// Only the 2 aggregators created files, once each (handles stay open).
+	if w.FS.MetaOps != 2 {
+		t.Errorf("MetaOps = %d, want 2 (one create per aggregator)", w.FS.MetaOps)
+	}
+	if w.Epochs != 2 {
+		t.Errorf("Epochs = %d, want 2", w.Epochs)
+	}
+}
+
+// TestSyncCheckpointLandsBeforeReturn: the blocking Checkpoint call leaves
+// nothing pending — Drain must be a no-op afterwards.
+func TestSyncCheckpointLandsBeforeReturn(t *testing.T) {
+	sys := core.NewSystemSIO(machine.XT4(), machine.SN, 4, 4)
+	sys.EnableTelemetry()
+	w, err := ckpt.Attach(sys, ckpt.Config{FS: narrowFS()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var syncDone, drainDone float64
+	mpi.Run(sys, mpi.Algorithmic, func(p *mpi.P) {
+		w.Checkpoint(p, 4<<20)
+		if p.Rank() == 0 {
+			syncDone = p.Now()
+		}
+		w.Drain(p)
+		if p.Rank() == 0 {
+			drainDone = p.Now()
+		}
+	})
+	if drainDone != syncDone {
+		t.Errorf("Drain after a synchronous checkpoint advanced time %.9g → %.9g", syncDone, drainDone)
+	}
+	if err := sys.TelemetryReport().IO.CheckConservation(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,23 @@
+package lustre
+
+import "xtsim/internal/core"
+
+// Attach builds a filesystem on the system's engine and fabric and
+// registers it with the system. This is the front door for experiments:
+// OSS servers land on the fabric's reserved SIO nodes when the system was
+// built with core.NewSystemSIO (legacy top-of-range placement otherwise),
+// the I/O counters come up whenever the system's telemetry is enabled, and
+// the system's parallel scheduler and hybrid fast path decline from here
+// on (core.AttachIO) because the MDS/OSS/OST resources are engine-global
+// shared state.
+func Attach(sys *core.System, cfg Config) (*FS, error) {
+	fs, err := New(sys.Eng, sys.Fabric, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if sys.Tel != nil {
+		fs.EnableTelemetry(sys.Tel)
+	}
+	sys.AttachIO(fs.TelemetryReport)
+	return fs, nil
+}

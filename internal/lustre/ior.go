@@ -37,6 +37,8 @@ func (p IORParams) Validate() error {
 		return fmt.Errorf("lustre: IOR bytes/task = %d", p.BytesPerTask)
 	case p.TransferSize < 1 || p.TransferSize > p.BytesPerTask:
 		return fmt.Errorf("lustre: IOR transfer size = %d", p.TransferSize)
+	case p.StripeCount < 0:
+		return fmt.Errorf("lustre: IOR stripe count = %d", p.StripeCount)
 	}
 	return nil
 }
@@ -56,7 +58,13 @@ func RunIOR(sys *core.System, cfg Config, params IORParams) (IORResult, error) {
 	if err := params.Validate(); err != nil {
 		return IORResult{}, err
 	}
-	fs, err := New(sys.Eng, sys.Fabric, cfg)
+	if err := cfg.Validate(); err != nil {
+		return IORResult{}, err
+	}
+	if params.StripeCount > cfg.TotalOSTs() {
+		return IORResult{}, fmt.Errorf("lustre: IOR stripe count %d exceeds %d OSTs", params.StripeCount, cfg.TotalOSTs())
+	}
+	fs, err := Attach(sys, cfg)
 	if err != nil {
 		return IORResult{}, err
 	}

@@ -17,6 +17,7 @@ import (
 	"xtsim/internal/machine"
 	"xtsim/internal/network"
 	"xtsim/internal/sim"
+	"xtsim/internal/telemetry"
 )
 
 // Config sizes a Lustre deployment.
@@ -38,6 +39,12 @@ type Config struct {
 	DefaultStripeCount int
 	// StripeSize is the striping unit in bytes (Lustre default 1 MiB).
 	StripeSize int64
+	// BypassFabric, when set, still prices the OSS network and OST disk
+	// service legs but skips the torus delivery between client and OSS —
+	// the control knob of interference studies: with it set, I/O consumes
+	// no fabric links, so any compute-phase slowdown it removes was network
+	// contention. Always valid; defaults to off (full-fidelity routing).
+	BypassFabric bool
 }
 
 // DefaultConfig mirrors a mid-2007 NCCS scratch filesystem: 36 OSSes of 2
@@ -87,6 +94,11 @@ type FS struct {
 	ossNet  []*sim.PSResource // per-OSS network path, shared by its OSTs
 	ostNode []int             // fabric node hosting each OST's OSS
 
+	// tel holds the opt-in I/O counters, nil until EnableTelemetry — the
+	// same nil-gated idiom as the fabric's byte counters: telemetry off
+	// costs each transfer one nil check.
+	tel *telemetry.IOStats
+
 	nextFileID int
 	// Stats.
 	MetaOps    uint64
@@ -94,18 +106,24 @@ type FS struct {
 	BytesWrote uint64
 }
 
-// New attaches a filesystem to an existing engine and fabric. OSSes are
-// placed round-robin on fabric nodes from the top of the node range,
-// mimicking SIO placement at the torus edge.
+// New attaches a filesystem to an existing engine and fabric. When the
+// fabric carries a reserved SIO partition (network.NewWithSIO), OSSes are
+// placed round-robin over exactly those nodes; otherwise they fall back to
+// round-robin from the top of the node range, mimicking SIO placement at
+// the torus edge.
 func New(eng *sim.Engine, fabric *network.Fabric, cfg Config) (*FS, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	fs := &FS{Cfg: cfg, eng: eng, fabric: fabric}
 	nNodes := fabric.Tor.Nodes()
+	sio := fabric.SIONodes()
 	for oss := 0; oss < cfg.OSSCount; oss++ {
 		net := sim.NewPSResource(eng, cfg.OSSNetBandwidth)
 		node := nNodes - 1 - (oss % nNodes)
+		if len(sio) > 0 {
+			node = sio[oss%len(sio)]
+		}
 		for t := 0; t < cfg.OSTsPerOSS; t++ {
 			fs.ostDisk = append(fs.ostDisk, sim.NewPSResource(eng, cfg.OSTBandwidth))
 			fs.ossNet = append(fs.ossNet, net)
@@ -113,6 +131,68 @@ func New(eng *sim.Engine, fabric *network.Fabric, cfg Config) (*FS, error) {
 		}
 	}
 	return fs, nil
+}
+
+// EnableTelemetry installs the filesystem's I/O counters (idempotent) and,
+// when set is non-nil, registers them as the system set's IO member.
+// Returns the counters for direct inspection.
+func (fs *FS) EnableTelemetry(set *telemetry.Set) *telemetry.IOStats {
+	if fs.tel == nil {
+		fs.tel = telemetry.NewIOStats(fs.Cfg.TotalOSTs())
+	}
+	if set != nil {
+		set.IO = fs.tel
+	}
+	return fs.tel
+}
+
+// TelemetryReport assembles the filesystem's deterministic I/O report over
+// [0, horizon]: MDS pressure from the FIFO resource, client byte totals
+// and the per-OST byte distribution from the hot-path counters, OST
+// bandwidth utilizations (bytes served / OSTBandwidth×horizon), and the
+// client write-time histogram. Returns nil unless telemetry is enabled.
+func (fs *FS) TelemetryReport(horizon float64) *telemetry.IOReport {
+	if fs.tel == nil {
+		return nil
+	}
+	t := fs.tel
+	rep := &telemetry.IOReport{
+		OSTs:               fs.Cfg.TotalOSTs(),
+		MDSOps:             fs.MetaOps,
+		MDSBusySeconds:     float64(fs.mds.Busy),
+		MDSUtilization:     telemetry.Round6(fs.mds.Utilization(sim.Time(horizon))),
+		ClientBytesWritten: t.ClientBytesWritten,
+		ClientBytesRead:    t.ClientBytesRead,
+		OSTBytes:           append([]int64(nil), t.OSTBytes...),
+		OSTWriteBytes:      append([]int64(nil), t.OSTWriteBytes...),
+		WriteCount:         t.WriteCount,
+		WriteSeconds:       t.WriteSeconds,
+	}
+	if horizon > 0 && len(t.OSTBytes) > 0 {
+		full := fs.Cfg.OSTBandwidth * horizon
+		var sum, max float64
+		for i, b := range t.OSTBytes {
+			u := float64(b) / full
+			sum += u
+			if u > max {
+				max = u
+				rep.BusiestOST = i
+			}
+		}
+		rep.OSTMeanUtilization = telemetry.Round6(sum / float64(len(t.OSTBytes)))
+		rep.OSTMaxUtilization = telemetry.Round6(max)
+	}
+	for i, n := range t.WriteHist {
+		if n == 0 {
+			continue
+		}
+		le := telemetry.IOHistUpperSeconds(i)
+		if i == telemetry.IOHistBuckets-1 {
+			le = 0 // unbounded last bucket
+		}
+		rep.WriteHist = append(rep.WriteHist, telemetry.IOHistCell{LeSeconds: le, Count: n})
+	}
+	return rep
 }
 
 // File is an open striped file.
@@ -165,15 +245,75 @@ func (f *File) ostFor(offset int64) int {
 	return (f.firstOST + stripeIdx) % f.fs.Cfg.TotalOSTs()
 }
 
-// transfer moves length bytes between the client and the file's OSTs,
-// blocking the calling process until the slowest stripe completes. Each
-// stripe's bytes traverse the fabric to the OSS node, the OSS network
-// path, and the OST disk.
-func (f *File) transfer(p *sim.Proc, clientNode int, offset, length int64, write bool) {
+// WriteRequest tracks one in-flight transfer: its stripes are issued (and
+// their fabric links reserved) at issue time, service proceeds through the
+// OSS/OST resources, and Await blocks a process until the slowest stripe
+// lands. Obtained from File.WriteBehind; the blocking Write/Read paths use
+// one internally.
+type WriteRequest struct {
+	fs     *FS
+	write  bool
+	length int64
+	start  sim.Time
+	finish sim.Time
+
+	outstanding int
+	done        sim.Condition
+}
+
+// Done reports whether every stripe of the request has completed.
+func (r *WriteRequest) Done() bool { return r.outstanding == 0 }
+
+// Finish returns the completion time; meaningful once Done.
+func (r *WriteRequest) Finish() sim.Time { return r.finish }
+
+// Await blocks p until the request completes. Returns immediately when the
+// request is already done (or was empty).
+func (r *WriteRequest) Await(p *sim.Proc) {
+	for r.outstanding > 0 {
+		r.done.Await(p)
+	}
+}
+
+// complete retires one stripe; the last one stamps the finish time, feeds
+// the filesystem counters and write-time histogram, and wakes waiters.
+func (r *WriteRequest) complete() {
+	r.outstanding--
+	if r.outstanding > 0 {
+		return
+	}
+	fs := r.fs
+	r.finish = fs.eng.Now()
+	if r.write {
+		fs.BytesWrote += uint64(r.length)
+		if fs.tel != nil {
+			fs.tel.ObserveWrite(float64(r.finish - r.start))
+		}
+	} else {
+		fs.BytesRead += uint64(r.length)
+	}
+	r.done.Broadcast()
+}
+
+// issue launches length bytes of transfer between the client and the
+// file's OSTs onto req, starting at time at. Each stripe's bytes traverse
+// the fabric to the OSS node (links reserved cut-through at issue time —
+// this is where I/O bursts contend with compute traffic), then the OSS
+// network path and the OST disk, both processor-shared with concurrent
+// streams. With Cfg.BypassFabric the torus leg is skipped and service
+// starts immediately.
+func (f *File) issue(at sim.Time, clientNode int, offset, length int64, write bool, req *WriteRequest) {
 	if length <= 0 {
 		return
 	}
 	fs := f.fs
+	if fs.tel != nil {
+		if write {
+			fs.tel.ClientBytesWritten += length
+		} else {
+			fs.tel.ClientBytesRead += length
+		}
+	}
 	// Split the request into per-OST byte counts.
 	perOST := make(map[int]int64)
 	for pos := offset; pos < offset+length; {
@@ -186,19 +326,33 @@ func (f *File) transfer(p *sim.Proc, clientNode int, offset, length int64, write
 		pos = end
 	}
 	// Launch all stripe transfers in OST order (map iteration order would
-	// randomise resource-reservation order and break run reproducibility)
-	// and wait for completion.
+	// randomise resource-reservation order and break run reproducibility).
 	osts := make([]int, 0, len(perOST))
 	for ost := range perOST {
 		osts = append(osts, ost)
 	}
 	sort.Ints(osts)
-	var done sim.Condition
-	outstanding := 0
 	for _, ost := range osts {
 		bytes := perOST[ost]
-		outstanding++
+		req.outstanding++
 		ost := ost
+		if fs.tel != nil {
+			fs.tel.OSTBytes[ost] += bytes
+			if write {
+				fs.tel.OSTWriteBytes[ost] += bytes
+			}
+		}
+		// OSS network path then OST disk, processor-shared with concurrent
+		// streams.
+		serve := func() {
+			fs.ossNet[ost].ConsumeAsync(float64(bytes), func() {
+				fs.ostDisk[ost].ConsumeAsync(float64(bytes), req.complete)
+			})
+		}
+		if fs.Cfg.BypassFabric {
+			serve()
+			continue
+		}
 		// Network leg between client and OSS node.
 		msg := network.Msg{
 			SrcNode: clientNode, DstNode: fs.ostNode[ost],
@@ -207,27 +361,18 @@ func (f *File) transfer(p *sim.Proc, clientNode int, offset, length int64, write
 		if !write {
 			msg.SrcNode, msg.DstNode = msg.DstNode, msg.SrcNode
 		}
-		fs.fabric.Deliver(p.Now(), msg, sim.ArriveFunc(func(arrive sim.Time) {
-			// OSS network path then OST disk, processor-shared with
-			// concurrent streams.
-			fs.ossNet[ost].ConsumeAsync(float64(bytes), func() {
-				fs.ostDisk[ost].ConsumeAsync(float64(bytes), func() {
-					outstanding--
-					if outstanding == 0 {
-						done.Broadcast()
-					}
-				})
-			})
+		fs.fabric.Deliver(at, msg, sim.ArriveFunc(func(arrive sim.Time) {
+			serve()
 		}))
 	}
-	if outstanding > 0 {
-		done.Await(p)
-	}
-	if write {
-		fs.BytesWrote += uint64(length)
-	} else {
-		fs.BytesRead += uint64(length)
-	}
+}
+
+// transfer moves length bytes between the client and the file's OSTs,
+// blocking the calling process until the slowest stripe completes.
+func (f *File) transfer(p *sim.Proc, clientNode int, offset, length int64, write bool) {
+	req := WriteRequest{fs: f.fs, write: write, length: length, start: p.Now()}
+	f.issue(p.Now(), clientNode, offset, length, write, &req)
+	req.Await(p)
 }
 
 // Write writes length bytes at offset from the client on clientNode.
@@ -238,4 +383,14 @@ func (f *File) Write(p *sim.Proc, clientNode int, offset, length int64) {
 // Read reads length bytes at offset into the client on clientNode.
 func (f *File) Read(p *sim.Proc, clientNode int, offset, length int64) {
 	f.transfer(p, clientNode, offset, length, false)
+}
+
+// WriteBehind issues a write without blocking the client: stripe traffic
+// departs now (reserving fabric links exactly as a blocking write would)
+// while the caller continues computing. Await the returned request — or
+// the checkpoint layer's Drain — before reusing the buffer's region.
+func (f *File) WriteBehind(p *sim.Proc, clientNode int, offset, length int64) *WriteRequest {
+	req := &WriteRequest{fs: f.fs, write: true, length: length, start: p.Now()}
+	f.issue(p.Now(), clientNode, offset, length, true, req)
+	return req
 }

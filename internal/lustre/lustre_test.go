@@ -264,3 +264,185 @@ func TestStripedTransferDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestOSTForBoundariesAndWraparound(t *testing.T) {
+	_, fs := testFS(t, DefaultConfig())
+	total := fs.Cfg.TotalOSTs()
+	s := fs.Cfg.StripeSize
+	// A file whose first OST sits at the end of the OST range: the stripe
+	// cycle must wrap around modulo the deployment, not run off the end.
+	f := &File{fs: fs, StripeCount: 4, StripeSize: s, firstOST: total - 2}
+	wantCycle := []int{total - 2, total - 1, 0, 1}
+	for i, want := range wantCycle {
+		if got := f.ostFor(int64(i) * s); got != want {
+			t.Errorf("stripe %d: ostFor = %d, want %d", i, got, want)
+		}
+	}
+	// Offsets exactly on a stripe boundary belong to the new stripe; the
+	// last byte before it still belongs to the old one.
+	if f.ostFor(s) == f.ostFor(s-1) {
+		t.Error("stripe boundary offset mapped to the previous stripe")
+	}
+	if got, want := f.ostFor(4*s), f.ostFor(0); got != want {
+		t.Errorf("one full cycle later: ostFor = %d, want %d", got, want)
+	}
+	// Non-power-of-two stripe count cycles with period 3.
+	f3 := &File{fs: fs, StripeCount: 3, StripeSize: s, firstOST: total - 1}
+	seen := map[int]bool{}
+	for i := 0; i < 6; i++ {
+		seen[f3.ostFor(int64(i)*s)] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("3-stripe file touched %d OSTs over two cycles, want 3", len(seen))
+	}
+	if f3.ostFor(0) != f3.ostFor(3*s) || f3.ostFor(0) == f3.ostFor(2*s) {
+		t.Error("3-stripe cycle broken")
+	}
+}
+
+func TestCreateRejectsStripeCountOutOfRange(t *testing.T) {
+	eng, fs := testFS(t, DefaultConfig())
+	for _, stripes := range []int{-1, fs.Cfg.TotalOSTs() + 1} {
+		stripes := stripes
+		eng.Spawn("c", func(p *sim.Proc) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Create(%d) did not panic", stripes)
+				}
+			}()
+			fs.Create(p, stripes)
+		})
+	}
+	eng.Run()
+}
+
+func TestIORStripeCountBeyondOSTsRejected(t *testing.T) {
+	sys := core.NewSystem(machine.XT4(), machine.SN, 2)
+	_, err := RunIOR(sys, DefaultConfig(), IORParams{
+		Tasks: 2, BytesPerTask: 1 << 20, TransferSize: 1 << 20,
+		StripeCount: DefaultConfig().TotalOSTs() + 1,
+	})
+	if err == nil {
+		t.Fatal("stripe count beyond the deployment accepted")
+	}
+	if _, err := RunIOR(sys, DefaultConfig(), IORParams{
+		Tasks: 2, BytesPerTask: 1 << 20, TransferSize: 1 << 20, StripeCount: -1,
+	}); err == nil {
+		t.Fatal("negative stripe count accepted")
+	}
+}
+
+func TestWriteBehindOverlapsAndAwaits(t *testing.T) {
+	eng, fs := testFS(t, DefaultConfig())
+	eng.Spawn("c", func(p *sim.Proc) {
+		f := fs.Create(p, 2)
+		issued := p.Now()
+		req := f.WriteBehind(p, 0, 0, 64<<20)
+		if p.Now() != issued {
+			t.Error("WriteBehind blocked the issuing process")
+		}
+		if req.Done() {
+			t.Error("64 MB write-behind completed instantly")
+		}
+		req.Await(p)
+		if !req.Done() {
+			t.Error("Await returned before completion")
+		}
+		if req.Finish() != p.Now() {
+			t.Errorf("Finish = %v, now = %v", req.Finish(), p.Now())
+		}
+	})
+	eng.Run()
+	if fs.BytesWrote != 64<<20 {
+		t.Fatalf("accounting after write-behind: %d", fs.BytesWrote)
+	}
+}
+
+func TestBypassFabricPricesServiceLegsOnly(t *testing.T) {
+	// With BypassFabric the transfer still pays OSS network and OST disk
+	// time, so a large write takes about as long as the routed one minus
+	// only the torus legs — and strictly more than zero.
+	write := func(bypass bool) sim.Time {
+		cfg := DefaultConfig()
+		cfg.BypassFabric = bypass
+		eng, fs := testFS(t, cfg)
+		var took sim.Time
+		eng.Spawn("c", func(p *sim.Proc) {
+			f := fs.Create(p, 4)
+			start := p.Now()
+			f.Write(p, 0, 0, 64<<20)
+			took = p.Now() - start
+		})
+		eng.Run()
+		return took
+	}
+	routed, bypassed := write(false), write(true)
+	if bypassed <= 0 {
+		t.Fatalf("bypassed write took %v, service legs unpriced", bypassed)
+	}
+	if bypassed > routed {
+		t.Fatalf("bypassed write (%v) slower than routed (%v)", bypassed, routed)
+	}
+}
+
+func TestTelemetryConservationOnMixedTraffic(t *testing.T) {
+	for _, bypass := range []bool{false, true} {
+		cfg := DefaultConfig()
+		cfg.BypassFabric = bypass
+		eng := sim.NewEngine()
+		fab := network.NewWithSIO(eng, machine.XT4(), 16, cfg.OSSCount)
+		fs, err := New(eng, fab, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tel := fs.EnableTelemetry(nil)
+		for c := 0; c < 4; c++ {
+			c := c
+			eng.Spawn("client", func(p *sim.Proc) {
+				f := fs.Create(p, 3)
+				f.Write(p, c, 0, 7<<20)
+				f.Read(p, c, 1<<20, 2<<20)
+				req := f.WriteBehind(p, c, 3<<20, 5<<20)
+				req.Await(p)
+			})
+		}
+		eng.Run()
+		rep := fs.TelemetryReport(float64(eng.Now()))
+		if rep == nil {
+			t.Fatal("telemetry enabled but report is nil")
+		}
+		if err := rep.CheckConservation(); err != nil {
+			t.Errorf("bypass=%v: %v", bypass, err)
+		}
+		if want := int64(4 * (7 + 5) << 20); rep.ClientBytesWritten != want {
+			t.Errorf("bypass=%v: client write bytes = %d, want %d", bypass, rep.ClientBytesWritten, want)
+		}
+		if rep.WriteCount != uint64(2*4) {
+			t.Errorf("bypass=%v: write count = %d, want 8", bypass, rep.WriteCount)
+		}
+		if tel.ClientBytesRead != int64(4*2<<20) {
+			t.Errorf("bypass=%v: client read bytes = %d", bypass, tel.ClientBytesRead)
+		}
+	}
+}
+
+func TestSIONodePlacementUsed(t *testing.T) {
+	// On a system with an SIO partition the OSS servers sit on the reserved
+	// nodes, round-robin; without one they keep the legacy top-of-range
+	// placement (pre-subsystem byte-identity).
+	eng := sim.NewEngine()
+	fab := network.NewWithSIO(eng, machine.XT4(), 16, 4)
+	fs, err := New(eng, fab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sio := map[int]bool{}
+	for _, n := range fab.SIONodes() {
+		sio[n] = true
+	}
+	for i, node := range fs.ostNode {
+		if !sio[node] {
+			t.Fatalf("OST %d served from node %d, outside the SIO partition %v", i, node, fab.SIONodes())
+		}
+	}
+}

@@ -25,6 +25,12 @@ const (
 	OpAlltoall
 	OpAllgather
 	OpGatherScatter
+	// OpIO is file-system time opened by the checkpoint/IO layer through
+	// IOBegin/IOEnd. Deliberately placed after the collectives so that
+	// Collective()'s OpBarrier..OpGatherScatter range stays intact; MPI
+	// traffic issued inside an I/O region (N-to-M aggregation sends) nests
+	// under it like a collective's internal p2p.
+	OpIO
 	numOpClasses
 )
 
@@ -51,6 +57,8 @@ func (o OpClass) String() string {
 		return "Allgather"
 	case OpGatherScatter:
 		return "Gather/Scatter"
+	case OpIO:
+		return "File I/O"
 	}
 	return fmt.Sprintf("OpClass(%d)", int(o))
 }
@@ -137,6 +145,15 @@ func opNames() []string {
 	}
 	return names
 }
+
+// IOBegin opens a File I/O attribution region for the checkpoint/IO layer
+// (internal/io): elapsed simulated time lands in Seconds[OpIO], and MPI
+// operations issued inside the region (N-to-M aggregation traffic) nest
+// under it instead of double-counting. Pair the returned token with IOEnd.
+func (p *P) IOBegin() sim.Time { return p.opBegin(OpIO) }
+
+// IOEnd closes the region opened by IOBegin.
+func (p *P) IOEnd(start sim.Time) { p.opEnd(OpIO, start) }
 
 // Profile returns the rank's accumulated MPI time attribution.
 func (p *P) Profile() *Profile { return &p.prof }

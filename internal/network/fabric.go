@@ -74,6 +74,10 @@ type Fabric struct {
 	// check. See parallel.go and DESIGN.md §4h.
 	par *parState
 
+	// sio lists the torus node ids reserved for service-I/O duty (set by
+	// NewWithSIO); empty on fabrics built without an SIO partition.
+	sio []int
+
 	// MsgsDelivered counts completed transfers, for reporting.
 	MsgsDelivered uint64
 	// BytesDelivered accumulates payload bytes, for reporting.
@@ -88,12 +92,25 @@ const maxRouteCacheEntries = 1 << 17
 
 // New builds a fabric for nNodes nodes of machine m.
 func New(eng *sim.Engine, m machine.Machine, nNodes int) *Fabric {
-	tor := m.TorusFor(nNodes)
+	return NewWithSIO(eng, m, nNodes, 0)
+}
+
+// NewWithSIO builds a fabric whose torus holds nCompute compute nodes plus
+// nSIO service-I/O nodes. The SIO nodes take the highest node ids of the
+// torus (mirroring the XT4's service blades at the mesh edge) and are
+// disjoint from the compute range [0, nCompute): compute placement never
+// lands a rank on them, so I/O server traffic crosses real torus links to
+// reach storage, contending with compute-phase traffic along the way.
+func NewWithSIO(eng *sim.Engine, m machine.Machine, nCompute, nSIO int) *Fabric {
+	if nSIO < 0 {
+		panic("network: negative SIO node count")
+	}
+	tor := m.TorusFor(nCompute + nSIO)
 	cacheMax := maxRouteCacheEntries
 	if pairs := tor.Nodes() * tor.Nodes(); pairs < cacheMax {
 		cacheMax = pairs
 	}
-	return &Fabric{
+	f := &Fabric{
 		Eng:     eng,
 		M:       m,
 		Tor:     tor,
@@ -103,7 +120,16 @@ func New(eng *sim.Engine, m machine.Machine, nNodes int) *Fabric {
 		vnProxy: make([]sim.FIFOResource, tor.Nodes()),
 		routes:  torus.NewRouteCache(tor, cacheMax),
 	}
+	for i := 0; i < nSIO; i++ {
+		f.sio = append(f.sio, tor.Nodes()-1-i)
+	}
+	return f
 }
+
+// SIONodes returns the fabric's reserved service-I/O node ids (highest
+// first), or nil when the fabric was built without an SIO partition. The
+// Lustre layer places its OSS servers here when the slice is non-empty.
+func (f *Fabric) SIONodes() []int { return f.sio }
 
 // Msg describes one point-to-point transfer.
 type Msg struct {

@@ -84,6 +84,7 @@ type OptionsSchema struct {
 	CritPath  string `json:"critpath"`
 	Shards    string `json:"shards"`
 	Hybrid    string `json:"hybrid"`
+	CkptEvery string `json:"ckpt_every"`
 }
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
@@ -100,6 +101,7 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 			CritPath:  "bool — attach the critical-path JSON exports to experiments that record causal graphs",
 			Shards:    "int — parallelism inside experiments (worker-pool sweeps, sharded scheduler); rendered output is byte-identical to serial",
 			Hybrid:    "string — hybrid rank fast path: \"exact\" or \"analytic\" requests that tier, \"off\" forces the event-driven engine, \"\" keeps per-experiment defaults; \"exact\" output is byte-identical to the DES",
+			CkptEvery: "int — checkpoint cadence in steps for checkpoint-aware experiments (ext-ckpt); 0 keeps each experiment's default, negative is rejected",
 		},
 	})
 }

@@ -391,6 +391,11 @@ func TestRequestValidation(t *testing.T) {
 		!strings.Contains(string(body), "shards") {
 		t.Errorf("negative shards should be 400: HTTP %d: %s", code, body)
 	}
+	if code, body, _ := post(t, ts.URL+"/api/v1/campaigns",
+		`{"experiments":["alpha"],"options":{"ckpt_every":-1}}`); code != http.StatusBadRequest ||
+		!strings.Contains(string(body), "ckpt-every") {
+		t.Errorf("negative ckpt_every should be 400: HTTP %d: %s", code, body)
+	}
 	if code, _, _ := get(t, ts.URL+"/api/v1/jobs/job-999999"); code != http.StatusNotFound {
 		t.Errorf("unknown job should be 404, got %d", code)
 	}

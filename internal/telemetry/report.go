@@ -92,6 +92,7 @@ type Report struct {
 	HorizonSeconds float64       `json:"horizon_seconds"`
 	Fabric         *FabricReport `json:"fabric,omitempty"`
 	MPI            *MPIReport    `json:"mpi,omitempty"`
+	IO             *IOReport     `json:"io,omitempty"`
 }
 
 // WriteJSON writes the report as indented JSON. encoding/json marshals
@@ -156,6 +157,21 @@ func (r *Report) WriteProm(w io.Writer) error {
 				p("xtsim_mpi_op_msgs{%s} %d\n", labels, op.Msgs)
 				p("xtsim_mpi_op_bytes{%s} %d\n", labels, op.Bytes)
 			}
+		}
+	}
+	if io := r.IO; io != nil {
+		p("xtsim_io_osts %d\n", io.OSTs)
+		p("xtsim_io_mds_ops %d\n", io.MDSOps)
+		p("xtsim_io_mds_busy_seconds %s\n", g(io.MDSBusySeconds))
+		p("xtsim_io_mds_utilization %s\n", g(io.MDSUtilization))
+		p("xtsim_io_client_bytes{dir=\"write\"} %d\n", io.ClientBytesWritten)
+		p("xtsim_io_client_bytes{dir=\"read\"} %d\n", io.ClientBytesRead)
+		p("xtsim_io_ost_mean_utilization %s\n", g(io.OSTMeanUtilization))
+		p("xtsim_io_ost_max_utilization %s\n", g(io.OSTMaxUtilization))
+		p("xtsim_io_write_count %d\n", io.WriteCount)
+		p("xtsim_io_write_seconds %s\n", g(io.WriteSeconds))
+		for _, cell := range io.WriteHist {
+			p("xtsim_io_write_hist{le_seconds=%q} %d\n", g(cell.LeSeconds), cell.Count)
 		}
 	}
 	return err

@@ -38,6 +38,9 @@ type Set struct {
 	// MPI holds the MPI runtime's per-communicator statistics (attached by
 	// mpi.NewWorld when it finds telemetry enabled on the system).
 	MPI *MPIStats
+	// IO holds the Lustre filesystem's I/O counters (attached by
+	// lustre.FS.EnableTelemetry, typically via lustre.Attach).
+	IO *IOStats
 }
 
 // FabricBytes holds the fabric's hot-path byte and queue-wait counters: one
