@@ -73,6 +73,17 @@ func BenchmarkFig11MPIRAShards4(b *testing.B) {
 	benchExperimentOpts(b, "fig11", expt.Options{Short: true, Shards: 4})
 }
 
+// Timeline pair (PR 10): the MPI-FFT figure with the phase-resolved flight
+// recorder on vs off, interleaved so a BENCH_sim.json snapshot reads as an
+// on/off pair. The rendered table is byte-identical either way (fig9 never
+// exports the recorder); the wall-clock delta is pure sampling overhead.
+func BenchmarkFig9Timeline(b *testing.B) {
+	benchExperimentOpts(b, "fig9", expt.Options{Short: true, Timeline: true})
+}
+func BenchmarkFig9TimelineOff(b *testing.B) {
+	benchExperimentOpts(b, "fig9", expt.Options{Short: true})
+}
+
 // BenchmarkExtParallelS3D regenerates the ext-parallel artifact (serial +
 // 2-domain + 4-domain S3D runs); with shards=4 the three cells themselves
 // run concurrently on the worker pool.
@@ -88,6 +99,10 @@ func BenchmarkExtParallelS3DShards4(b *testing.B) {
 // per iteration.
 func BenchmarkIORSweep(b *testing.B)      { benchExperiment(b, "ext-io") }
 func BenchmarkS3DCheckpoint(b *testing.B) { benchExperiment(b, "ext-ckpt") }
+
+// BenchmarkExtTimeline regenerates the ext-timeline artifact (checkpointed
+// S3D flight recording plus the serial-vs-sharded identity arm).
+func BenchmarkExtTimeline(b *testing.B) { benchExperiment(b, "ext-timeline") }
 
 // BenchmarkExtPetascale regenerates the ext-petascale artifact (full-machine
 // S3D strong scaling, DES reference vs hybrid fast path per cell, reduced to

@@ -17,6 +17,8 @@
 //	                                 byte-identical: exact or fall back to DES)
 //	xtsim -run ext-ckpt -ckpt-every 2  checkpoint-interference study at a
 //	                                 different epoch cadence
+//	xtsim -run ext-timeline -timeline  phase-resolved flight recorder with
+//	                                 the timeline JSON export attached
 //	xtsim -serve 127.0.0.1:8973      run as a campaign server (see API.md)
 //
 // Rendered tables go to stdout in registration (paper) order regardless of
@@ -59,6 +61,7 @@ func main() {
 	shards := flag.Int("shards", 0, "parallelism inside experiments: sweep cells on a worker pool and SN nearest-neighbour runs on the sharded scheduler (output is byte-identical to serial)")
 	hybrid := flag.String("hybrid", "", "hybrid rank fast path: 'exact' or 'analytic' to request that tier on supporting experiments, 'off' to force the event-driven engine everywhere, empty for per-experiment defaults (output is byte-identical for 'exact')")
 	ckptEvery := flag.Int("ckpt-every", 0, "checkpoint cadence in steps for checkpoint-aware experiments (ext-ckpt); 0 keeps each experiment's default")
+	tline := flag.Bool("timeline", false, "attach the phase-resolved timeline JSON export to experiments that record it (e.g. ext-timeline)")
 	serveAddr := flag.String("serve", "", "run as a campaign server on this address (e.g. 127.0.0.1:8973); see API.md")
 	cacheN := flag.Int("cache", 512, "with -serve: max memoized experiment results held in the LRU cache")
 	queueN := flag.Int("queue", 16, "with -serve: max queued campaigns before submissions get 429")
@@ -103,7 +106,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := expt.Options{Short: *short, Telemetry: *tel, CritPath: *cp, Shards: *shards, Hybrid: *hybrid, CkptEvery: *ckptEvery}
+	opts := expt.Options{Short: *short, Telemetry: *tel, CritPath: *cp, Shards: *shards, Hybrid: *hybrid, CkptEvery: *ckptEvery, Timeline: *tline}
 	if err := opts.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "xtsim:", err)
 		flag.Usage()

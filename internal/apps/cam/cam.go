@@ -144,6 +144,20 @@ func Run(m machine.Machine, mode machine.Mode, cfg Config, b Benchmark) Result {
 	if cfg.Threads > 1 && !m.SupportsOpenMP {
 		panic(fmt.Sprintf("cam: machine %s does not support OpenMP threading", m.Name))
 	}
+	return RunOn(core.NewSystem(m, mode, cfg.Tasks), cfg, b)
+}
+
+// RunOn executes the proxy on a caller-prepared system (for instance one
+// with telemetry or timeline recording enabled); machine and mode come
+// from the system, whose task count must match cfg.Tasks.
+func RunOn(sys *core.System, cfg Config, b Benchmark) Result {
+	m, mode := sys.M, sys.Mode
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	if cfg.Tasks != sys.NumTasks {
+		panic(fmt.Sprintf("cam: config for %d tasks on a %d-task system", cfg.Tasks, sys.NumTasks))
+	}
 	threadBoost := 1.0
 	if cfg.Threads > 1 {
 		threadBoost = float64(cfg.Threads) * ompEff
@@ -154,7 +168,6 @@ func Run(m machine.Machine, mode machine.Mode, cfg Config, b Benchmark) Result {
 	latsPerTask := b.NLat / cfg.PLat
 	levsPerTask := b.NLev / cfg.PVert
 
-	sys := core.NewSystem(m, mode, cfg.Tasks)
 	var tDyn, tPhys, tPhysA2AV, physA2AVShare float64
 
 	elapsed := mpi.Run(sys, mpi.Auto, func(p *mpi.P) {
@@ -172,17 +185,22 @@ func Run(m machine.Machine, mode machine.Mode, cfg Config, b Benchmark) Result {
 		// lengths below 128 and caps the X1E/ES at 960 tasks (§6.1).
 		dynLoopLen := latsPerTask * levsPerTask * 8
 		for s := 0; s < b.DynSubsteps; s++ {
+			p.SetIter(s)
+			tc := p.PhaseBegin()
 			p.Compute(core.Work{
 				Flops:       cellsPerTask * dynFlopsPerCell / threadBoost,
 				FlopEff:     camFlopEff,
 				StreamBytes: cellsPerTask * dynBytesPerCell / threadBoost,
 				LoopLen:     dynLoopLen,
 			})
+			p.PhaseEnd("compute", tc)
+			th := p.PhaseBegin()
 			reqs := []*mpi.Request{
 				p.Isend(north, 1, haloBytes), p.Isend(south, 2, haloBytes),
 				p.Irecv(south, 1), p.Irecv(north, 2),
 			}
 			p.Wait(reqs...)
+			p.PhaseEnd("halo", th)
 		}
 		// Two remaps between the lat-lon and lat-vert decompositions per
 		// physics step (2-D decomposition only).
@@ -249,12 +267,14 @@ func physicsPhase(p *mpi.P, b Benchmark, cellsPerTask float64, latsPerTask int, 
 		}
 	}
 	p.Alltoallv(lbSizes)
+	tc := p.PhaseBegin()
 	p.Compute(core.Work{
 		Flops:       cellsPerTask * physFlopsPerCell / threadBoost,
 		FlopEff:     camFlopEff,
 		StreamBytes: cellsPerTask * physBytesPerCell / threadBoost,
 		LoopLen:     latsPerTask * b.NLon / 16, // physics chunks
 	})
+	p.PhaseEnd("compute", tc)
 	p.Alltoallv(lbSizes)
 	p.Barrier()
 }

@@ -167,20 +167,24 @@ func RunOn(sys *core.System, b Benchmark) Result {
 		west := wrap(myX-1, myY, px, py)
 
 		for st := 0; st < steps; st++ {
+			p.SetIter(st)
 			start := p.Now()
 
 			// --- Baroclinic phase: 3-D stencil advance + halo exchange. ---
 			pts3 := float64(bx) * float64(by) * float64(b.NZ)
+			tc := p.PhaseBegin()
 			p.Compute(core.Work{
 				Flops:       pts3 * baroclinicFlopsPerPoint,
 				FlopEff:     baroclinicFlopEff,
 				StreamBytes: pts3 * baroclinicBytesPerPoint,
 				LoopLen:     bx,
 			})
+			p.PhaseEnd("compute", tc)
 			// Halo: two exchanges (predictor/corrector), four neighbours each,
 			// ghost width × face area × nz × 8 bytes.
 			ewBytes := int64(by) * int64(b.NZ) * haloWidth * 8
 			nsBytes := int64(bx) * int64(b.NZ) * haloWidth * 8
+			th := p.PhaseBegin()
 			for ex := 0; ex < 2; ex++ {
 				reqs := []*mpi.Request{
 					p.Isend(east, 1, ewBytes), p.Isend(west, 2, ewBytes),
@@ -190,6 +194,7 @@ func RunOn(sys *core.System, b Benchmark) Result {
 				}
 				p.Wait(reqs...)
 			}
+			p.PhaseEnd("halo", th)
 			p.Barrier()
 			if me == 0 {
 				tBaroclinic += p.Now() - start
@@ -254,13 +259,16 @@ func barotropicPhase(p *mpi.P, px, py, bx, by, reductionsPerIter int) {
 	pts2 := float64(bx) * float64(by)
 	for it := 0; it < simCGIters; it++ {
 		// SpMV + vector ops.
+		tc := p.PhaseBegin()
 		p.Compute(core.Work{
 			Flops:       pts2 * barotropicFlopsPerPoint,
 			FlopEff:     baroclinicFlopEff,
 			StreamBytes: pts2 * barotropicBytesPerPoint,
 			LoopLen:     bx,
 		})
+		p.PhaseEnd("compute", tc)
 		// Halo of the 2-D operator (1-deep).
+		th := p.PhaseBegin()
 		reqs := []*mpi.Request{
 			p.Isend(east, 5, int64(by)*8), p.Isend(west, 6, int64(by)*8),
 			p.Isend(north, 7, int64(bx)*8), p.Isend(south, 8, int64(bx)*8),
@@ -268,6 +276,7 @@ func barotropicPhase(p *mpi.P, px, py, bx, by, reductionsPerIter int) {
 			p.Irecv(south, 7), p.Irecv(north, 8),
 		}
 		p.Wait(reqs...)
+		p.PhaseEnd("halo", th)
 		// Inner products: the latency-bound Allreduce(s).
 		for rcount := 0; rcount < reductionsPerIter; rcount++ {
 			p.Allreduce(mpi.Sum, 16, nil)

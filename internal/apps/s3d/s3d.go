@@ -188,25 +188,34 @@ func RunOn(sys *core.System, b Benchmark) Result {
 		}
 
 		for st := 0; st < steps; st++ {
+			p.SetIter(st)
 			t0 := p.Now()
 			// Six RK stages: ghost exchange then derivative + RHS evaluation.
 			for s := 0; s < b.RKStages; s++ {
+				th := p.PhaseBegin()
 				exchange(derivBytes, 10*s)
+				p.PhaseEnd("halo", th)
+				tc := p.PhaseBegin()
 				p.Compute(core.Work{
 					Flops:       pts * flopsPerPointPerStage,
 					FlopEff:     s3dFlopEff,
 					StreamBytes: pts * bytesPerPointPerStage,
 					LoopLen:     n,
 				})
+				p.PhaseEnd("compute", tc)
 			}
 			// Filter pass once per step.
+			th := p.PhaseBegin()
 			exchange(filterBytes, 100)
+			p.PhaseEnd("halo", th)
+			tc := p.PhaseBegin()
 			p.Compute(core.Work{
 				Flops:       pts * flopsPerPointPerStage * 0.4,
 				FlopEff:     s3dFlopEff,
 				StreamBytes: pts * bytesPerPointPerStage * 0.4,
 				LoopLen:     n,
 			})
+			p.PhaseEnd("compute", tc)
 			if me == 0 {
 				phaseSeconds += p.Now() - t0
 			}

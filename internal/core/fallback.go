@@ -1,0 +1,61 @@
+package core
+
+// Process-wide fast-path fallback accounting. Every time a parallel or
+// hybrid request declines at admission — or an admitted fast path is
+// revoked — the (kind, reason) pair is counted here, so a long-running
+// `xtsim -serve` can expose *why* its jobs ran serially ("engine gauges"
+// on /metrics). The counters are cumulative for the process lifetime, like
+// sim.TotalEventsExecuted.
+
+import (
+	"sort"
+	"sync"
+)
+
+// FallbackCount is one (kind, reason) cell of the fallback ledger.
+type FallbackCount struct {
+	// Kind is the fast path involved: "parallel" or "hybrid".
+	Kind string `json:"kind"`
+	// Reason is the admission/fallback reason string, verbatim.
+	Reason string `json:"reason"`
+	Count  uint64 `json:"count"`
+}
+
+var (
+	fallbackMu sync.Mutex
+	fallbacks  map[FallbackCount]uint64
+)
+
+// recordFallback counts one decline/revocation. Empty reasons (used by
+// callers that only want to clear state) are not ledger events.
+func recordFallback(kind, reason string) {
+	if reason == "" {
+		return
+	}
+	key := FallbackCount{Kind: kind, Reason: reason}
+	fallbackMu.Lock()
+	if fallbacks == nil {
+		fallbacks = make(map[FallbackCount]uint64)
+	}
+	fallbacks[key]++
+	fallbackMu.Unlock()
+}
+
+// FallbackCounts returns the process's cumulative fast-path fallback
+// counters, sorted by (kind, reason) for deterministic export.
+func FallbackCounts() []FallbackCount {
+	fallbackMu.Lock()
+	out := make([]FallbackCount, 0, len(fallbacks))
+	for key, n := range fallbacks {
+		key.Count = n
+		out = append(out, key)
+	}
+	fallbackMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Reason < out[j].Reason
+	})
+	return out
+}

@@ -92,6 +92,8 @@ func (s *System) EnableHybrid(tier HybridTier) bool {
 		reason = "critical-path recording needs per-event records"
 	case s.Tracer != nil:
 		reason = "tracer ordering needs the event schedule"
+	case s.Tl != nil:
+		reason = timelineHybridReason
 	case s.NoiseAmp > 0:
 		reason = "noise RNG is a shared sequential stream"
 	case s.ioAttached:
@@ -101,6 +103,7 @@ func (s *System) EnableHybrid(tier HybridTier) bool {
 	}
 	if reason != "" {
 		s.hybReason = reason
+		recordFallback("hybrid", reason)
 		return false
 	}
 	s.hybTier = tier
@@ -114,6 +117,7 @@ func (s *System) DisableHybrid(reason string) {
 	s.hybTier = HybridOff
 	if reason != "" {
 		s.hybReason = reason
+		recordFallback("hybrid", reason)
 	}
 }
 

@@ -64,11 +64,19 @@ func (s *System) EnableParallel(shards int) bool {
 			sh := sim.NewSharded(part.NumDomains(), network.Lookahead(s.M))
 			s.par = &parRun{sh: sh, part: part}
 			s.Fabric.EnableParallel(sh, part)
+			if s.Tl != nil {
+				// Timeline recording stays ON under sharding: each domain
+				// gets a private collector, folded deterministically after
+				// the run (DESIGN.md §4k).
+				s.Tl.Shard(part.NumDomains())
+				s.Fabric.TimelineShard(s.Tl.Collectors())
+			}
 			s.rebindNodeResources()
 			return true
 		}
 	}
 	s.parReason = reason
+	recordFallback("parallel", reason)
 	return false
 }
 
@@ -84,7 +92,14 @@ func (s *System) DisableParallel(reason string) {
 	}
 	s.par = nil
 	s.parReason = reason
+	recordFallback("parallel", reason)
 	s.Fabric.DisableParallel()
+	if s.Tl != nil {
+		// Back to serial shape: fold the (traffic-free) domain collectors
+		// and reinstall the single collector on the serial fabric path.
+		s.Tl.Unshard()
+		s.Fabric.EnableTimeline(s.Tl.Dom(0))
+	}
 	s.rebindNodeResources()
 }
 

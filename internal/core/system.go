@@ -18,6 +18,7 @@ import (
 	"xtsim/internal/network"
 	"xtsim/internal/sim"
 	"xtsim/internal/telemetry"
+	"xtsim/internal/timeline"
 )
 
 // Node is one compute node: a socket whose cores share the memory system.
@@ -71,6 +72,13 @@ type System struct {
 	// Tel, layers that come up afterwards (mpi.NewWorld) check it and
 	// attach; with CP nil the instrumented hot paths pay one nil check.
 	CP *critpath.Recorder
+	// Tl is the timeline flight recorder, nil until EnableTimeline — the
+	// same nil-gate idiom as Tel/CP. Unlike those, it composes with the
+	// sharded scheduler: each domain samples into its own collector and
+	// Run folds them deterministically after the terminal window barrier
+	// (DESIGN.md §4k). The hybrid fast path still declines — free-running
+	// ranks produce no per-event reservations to sample.
+	Tl *timeline.Recorder
 	// Rng drives noise; owned by the experiment for reproducibility.
 	Rng *rand.Rand
 
@@ -177,6 +185,50 @@ func (s *System) TelemetryReport() *telemetry.Report {
 		rep.IO = s.ioReport(horizon)
 	}
 	return rep
+}
+
+// timelineHybridReason is recorded when the flight recorder forces a
+// hybrid request back onto the DES.
+const timelineHybridReason = "timeline recording needs per-event reservation records"
+
+// EnableTimeline switches on the phase-resolved flight recorder: fabric
+// reservations (links, NICs, VN proxies) are sampled into fixed
+// simulated-time bins from now on, applications may emit phase spans via
+// the MPI layer, and TimelineReport joins the two. Composable with the
+// sharded scheduler (per-domain collectors, folded deterministically after
+// the run) and with telemetry/critpath on the serial engine; an admitted
+// hybrid fast path is revoked — free-running ranks have no reservations to
+// sample. Idempotent; call before creating the MPI world and before the
+// traffic of interest. Returns the system for chaining.
+func (s *System) EnableTimeline() *System {
+	if s.Tl != nil {
+		return s
+	}
+	if s.hybTier != HybridOff {
+		s.DisableHybrid(timelineHybridReason)
+	}
+	s.Tl = timeline.NewRecorder(s.NumTasks)
+	s.Tl.SetResources(timeline.Link, s.Fabric.NumLinks())
+	s.Tl.SetResources(timeline.NIC, s.Fabric.Tor.Nodes())
+	s.Tl.SetResources(timeline.VNProxy, s.Fabric.Tor.Nodes())
+	if s.par != nil {
+		s.Tl.Shard(s.par.part.NumDomains())
+		s.Fabric.TimelineShard(s.Tl.Collectors())
+	} else {
+		s.Fabric.EnableTimeline(s.Tl.Dom(0))
+	}
+	return s
+}
+
+// TimelineReport folds the flight recorder (a no-op on serial runs) and
+// assembles the deterministic timeline export over [0, horizon]; nil
+// unless EnableTimeline was called. horizon is normally the makespan Run
+// returned. Call after Run completes.
+func (s *System) TimelineReport(horizon float64) *timeline.Report {
+	if s.Tl == nil {
+		return nil
+	}
+	return s.Tl.Report(horizon)
 }
 
 // EnableCritPath switches on causal recording for this system: the fabric
@@ -309,6 +361,12 @@ func (s *System) Run(body func(r *Rank)) sim.Time {
 	if s.par != nil {
 		end := s.par.sh.Run()
 		s.Fabric.FoldParallel()
+		if s.Tl != nil {
+			// Workers have joined (Run returned after the terminal window
+			// barrier), so the per-domain collectors are quiescent; fold
+			// them into the serial shape the exports read.
+			s.Tl.Fold()
+		}
 		return end
 	}
 	return s.Eng.Run()

@@ -98,6 +98,10 @@ type Options struct {
 	// -ckpt-every`. 0 keeps each experiment's default cadence; experiments
 	// without checkpoint phases ignore it.
 	CkptEvery int `json:"ckpt_every"`
+	// Timeline makes timeline-aware experiments (ext-timeline, fig9) record
+	// the phase-resolved flight recorder (DESIGN.md §4k) and attach its JSON
+	// export; set by `xtsim -timeline`. The summary tables appear either way.
+	Timeline bool `json:"timeline"`
 }
 
 // Validate rejects option values outside the documented domain, so the CLI

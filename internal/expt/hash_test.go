@@ -10,12 +10,12 @@ import (
 // adding a field must extend Canonical (and this count), or two
 // differently-configured runs would share a cache key.
 func TestCanonicalCoversAllOptionFields(t *testing.T) {
-	const covered = 6 // short, telemetry, critpath, shards, hybrid, ckptevery
+	const covered = 7 // short, telemetry, critpath, shards, hybrid, ckptevery, timeline
 	if n := reflect.TypeOf(Options{}).NumField(); n != covered {
 		t.Fatalf("Options has %d fields but Canonical renders %d; update Options.Canonical and CacheKey docs, then this count", n, covered)
 	}
-	c := Options{Short: true, Telemetry: true, CritPath: true, Shards: 4, Hybrid: "exact", CkptEvery: 3}.Canonical()
-	for _, want := range []string{"short=true", "telemetry=true", "critpath=true", "shards=4", "hybrid=exact", "ckptevery=3"} {
+	c := Options{Short: true, Telemetry: true, CritPath: true, Shards: 4, Hybrid: "exact", CkptEvery: 3, Timeline: true}.Canonical()
+	for _, want := range []string{"short=true", "telemetry=true", "critpath=true", "shards=4", "hybrid=exact", "ckptevery=3", "timeline=true"} {
 		if !strings.Contains(c, want) {
 			t.Errorf("Canonical() = %q missing %q", c, want)
 		}
@@ -67,6 +67,7 @@ func TestCacheKeyStableAndSensitive(t *testing.T) {
 		"shards":    CacheKey("fig8", Options{Short: true, Shards: 4}, "v1"),
 		"hybrid":    CacheKey("fig8", Options{Short: true, Hybrid: "exact"}, "v1"),
 		"ckptevery": CacheKey("fig8", Options{Short: true, CkptEvery: 3}, "v1"),
+		"timeline":  CacheKey("fig8", Options{Short: true, Timeline: true}, "v1"),
 		"version":   CacheKey("fig8", Options{Short: true}, "v2"),
 	}
 	seen := map[string]string{base: "base"}

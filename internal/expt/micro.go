@@ -237,6 +237,12 @@ func runGlobal(res *Result, o Options, metric string, bench func(*core.System) h
 	runCells(o, len(cells), func(i int) {
 		sys := core.NewSystem(cells[i].m, cells[i].mode, cells[i].n)
 		applyHybrid(sys, o)
+		if o.Timeline {
+			// Flight recorder on, export unused: the rendered table stays
+			// byte-identical, which is what lets BenchmarkFig9Timeline* price
+			// the sampling overhead against the identical -timeline-off run.
+			sys.EnableTimeline()
+		}
 		results[i] = bench(sys)
 	})
 	t := res.Table()

@@ -192,7 +192,9 @@ func HPLOn(sys *core.System) GlobalResult {
 			if myCol == ownerCol {
 				rows := remaining / pr
 				fl := 2 * float64(rows) * float64(nb) * float64(nbReal)
+				tc := p.PhaseBegin()
 				p.Compute(core.Work{Flops: fl, FlopEff: hplFlopEff * 0.5, LoopLen: rows})
+				p.PhaseEnd("compute", tc)
 				// Pivot search communication along the column.
 				colComm.Allreduce(mpi.Max, 8*int64(nb), nil)
 			}
@@ -207,7 +209,9 @@ func HPLOn(sys *core.System) GlobalResult {
 			locRows := remaining / pr
 			locCols := remaining / pc
 			fl := 2 * float64(locRows) * float64(locCols) * float64(nb)
+			tc := p.PhaseBegin()
 			p.Compute(core.Work{Flops: fl, FlopEff: hplFlopEff, LoopLen: locCols})
+			p.PhaseEnd("compute", tc)
 		}
 	})
 	return GlobalResult{
@@ -238,7 +242,10 @@ func MPIFFTOn(sys *core.System) GlobalResult {
 		// the full local volume.
 		bytesPerPartner := int64(16 * perTask / tasks)
 		for pass := 0; pass < 2; pass++ {
+			p.SetIter(pass)
+			tc := p.PhaseBegin()
 			p.Compute(local)
+			p.PhaseEnd("compute", tc)
 			p.Alltoall(bytesPerPartner)
 		}
 		p.Alltoall(bytesPerPartner)
@@ -284,9 +291,13 @@ func PTRANSOn(sys *core.System) GlobalResult {
 		if recvFrom != me {
 			reqs = append(reqs, p.Irecv(recvFrom, 1))
 		}
+		th := p.PhaseBegin()
 		p.Wait(reqs...)
+		p.PhaseEnd("halo", th)
 		// Local blocked transpose: pure streaming traffic.
+		tc := p.PhaseBegin()
 		p.Compute(core.Work{StreamBytes: 2 * float64(locBytes)})
+		p.PhaseEnd("compute", tc)
 	})
 	return GlobalResult{
 		Tasks:   tasks,
@@ -319,10 +330,13 @@ func MPIRAOn(sys *core.System) GlobalResult {
 			per = 8
 		}
 		for b := 0; b < batches; b++ {
+			p.SetIter(b)
 			// Scatter this batch's updates to their owning tasks.
 			p.Alltoall(per)
 			// Apply received updates to the local table slice.
+			tc := p.PhaseBegin()
 			p.Compute(RandomAccessWork(lookahead))
+			p.PhaseEnd("compute", tc)
 		}
 	})
 	total := float64(batches) * float64(lookahead) * float64(tasks)

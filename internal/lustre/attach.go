@@ -1,6 +1,9 @@
 package lustre
 
-import "xtsim/internal/core"
+import (
+	"xtsim/internal/core"
+	"xtsim/internal/timeline"
+)
 
 // Attach builds a filesystem on the system's engine and fabric and
 // registers it with the system. This is the front door for experiments:
@@ -19,5 +22,12 @@ func Attach(sys *core.System, cfg Config) (*FS, error) {
 		fs.EnableTelemetry(sys.Tel)
 	}
 	sys.AttachIO(fs.TelemetryReport)
+	if sys.Tl != nil {
+		// After AttachIO: attaching revokes the sharded scheduler, which
+		// folds the recorder back to one collector — the one OST samples
+		// must land in.
+		fs.EnableTimeline(sys.Tl.Dom(0))
+		sys.Tl.SetResources(timeline.OST, cfg.TotalOSTs())
+	}
 	return fs, nil
 }

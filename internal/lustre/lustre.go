@@ -18,6 +18,7 @@ import (
 	"xtsim/internal/network"
 	"xtsim/internal/sim"
 	"xtsim/internal/telemetry"
+	"xtsim/internal/timeline"
 )
 
 // Config sizes a Lustre deployment.
@@ -99,6 +100,12 @@ type FS struct {
 	// costs each transfer one nil check.
 	tel *telemetry.IOStats
 
+	// tl is the timeline flight recorder's collector, nil until
+	// EnableTimeline. I/O attachment forces the serial engine
+	// (core.System.AttachIO revokes parallel/hybrid), so one serial
+	// collector covers every OST sample.
+	tl *timeline.Collector
+
 	nextFileID int
 	// Stats.
 	MetaOps    uint64
@@ -145,6 +152,11 @@ func (fs *FS) EnableTelemetry(set *telemetry.Set) *telemetry.IOStats {
 	}
 	return fs.tel
 }
+
+// EnableTimeline installs the timeline collector (nil-gated, like tel):
+// each stripe issue then samples its OST's nominal service interval into
+// the flight recorder's OST class bins.
+func (fs *FS) EnableTimeline(c *timeline.Collector) { fs.tl = c }
 
 // TelemetryReport assembles the filesystem's deterministic I/O report over
 // [0, horizon]: MDS pressure from the FIFO resource, client byte totals
@@ -341,6 +353,13 @@ func (f *File) issue(at sim.Time, clientNode int, offset, length int64, write bo
 			if write {
 				fs.tel.OSTWriteBytes[ost] += bytes
 			}
+		}
+		if fs.tl != nil {
+			// Nominal disk-service interval from issue time: the OST is
+			// processor-shared, so the exact span isn't knowable at issue —
+			// this bins *demand* placement, which is what the interference
+			// window needs, deterministically.
+			fs.tl.Sample(timeline.OST, at, at, at+float64(bytes)/fs.Cfg.OSTBandwidth)
 		}
 		// OSS network path then OST disk, processor-shared with concurrent
 		// streams.

@@ -26,6 +26,7 @@ import (
 	"xtsim/internal/network"
 	"xtsim/internal/sim"
 	"xtsim/internal/telemetry"
+	"xtsim/internal/timeline"
 )
 
 // CollectiveMode selects how collectives are executed.
@@ -127,6 +128,13 @@ type World struct {
 	// hyb is the hybrid fast-path run state, nil for DES worlds (see
 	// hybrid.go); newComm uses it to wire member views for hybrid matching.
 	hyb *hybRun
+
+	// tl is the system's timeline flight recorder, nil unless
+	// core.System.EnableTimeline was called before the world came up. When
+	// set, top-level collectives and I/O regions emit phase spans from
+	// opEnd, and applications may add their own via PhaseBegin/PhaseEnd —
+	// all under the same nil-gate discipline as tel/cp.
+	tl *timeline.Recorder
 }
 
 // NewWorld creates the runtime for sys. If telemetry is enabled on the
@@ -144,6 +152,7 @@ func NewWorld(sys *core.System) *World {
 		w.cp = sys.CP
 		w.cp.SetClassNames(opNames())
 	}
+	w.tl = sys.Tl
 	return w
 }
 
@@ -211,6 +220,11 @@ type P struct {
 	// message view; nil on the DES (see hybrid.go).
 	hyb  *hybTask
 	hybV *hybView
+
+	// curIter is the application-declared iteration label (SetIter),
+	// stamped onto timeline phase spans; meaningless while the flight
+	// recorder is off.
+	curIter int32
 
 	// Hot-path pools and scratch (see pool.go and DESIGN.md §4d).
 	freeReqs    *Request   // recycled send requests

@@ -134,6 +134,18 @@ func (p *P) opEnd(class OpClass, start sim.Time) {
 	if tr := p.c.w.sys.Tracer; tr != nil {
 		tr.Record(p.task.ID, class.String(), start, now)
 	}
+	if class >= OpBarrier && p.c.w.tl != nil {
+		// Top-level collectives and I/O regions become timeline phase
+		// spans automatically; point-to-point classes stay span-free (the
+		// paper's phase vocabulary is compute / halo / collective / ckpt,
+		// and Send/Recv volume would swamp the per-rank span cap).
+		name := "ckpt"
+		if class != OpIO {
+			name = class.String()
+		}
+		w := p.c.w
+		w.tl.Span(w.sys.DomainOf(p.task.NodeID), p.task.ID, name, int(p.curIter), start, now)
+	}
 }
 
 // opNames lists the display name of every operation class, indexed by

@@ -1,0 +1,51 @@
+package mpi
+
+import (
+	"testing"
+
+	"xtsim/internal/machine"
+)
+
+// TestSendRecvZeroAllocsWithTimelineOff is the flight recorder's zero-alloc
+// guard: the timeline-off message hot path must stay allocation-free — the
+// nil-gated Sample/Span sites are the only thing the timeline PR added to
+// it. Runs the ping-pong benchmark once through testing.Benchmark.
+func TestSendRecvZeroAllocsWithTimelineOff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed guard skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed under the race detector")
+	}
+	res := testing.Benchmark(BenchmarkMPIPingPong)
+	if a := res.AllocsPerOp(); a != 0 {
+		t.Fatalf("Send/Recv round trip allocates %d allocs/op with the timeline off, want 0", a)
+	}
+}
+
+// BenchmarkMPIPingPongTimeline is the ping-pong with the flight recorder
+// on: the full per-message sampling cost (NIC + per-hop link bins). Pair
+// with BenchmarkMPIPingPong for the recorder's overhead per message.
+func BenchmarkMPIPingPongTimeline(b *testing.B) {
+	sys := newSys(2, machine.SN).EnableTimeline()
+	b.ReportAllocs()
+	Run(sys, Algorithmic, func(p *P) {
+		const warm = 200
+		if p.Rank() == 0 {
+			for i := 0; i < warm; i++ {
+				p.Send(1, 0, 4096)
+				p.Recv(1, 1)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Send(1, 0, 4096)
+				p.Recv(1, 1)
+			}
+		} else {
+			for i := 0; i < warm+b.N; i++ {
+				p.Recv(0, 0)
+				p.Send(0, 1, 4096)
+			}
+		}
+	})
+}

@@ -21,6 +21,7 @@ import (
 	"xtsim/internal/machine"
 	"xtsim/internal/sim"
 	"xtsim/internal/telemetry"
+	"xtsim/internal/timeline"
 	"xtsim/internal/torus"
 )
 
@@ -55,6 +56,13 @@ type Fabric struct {
 	// seconds and reservation counts come from the FIFOResources themselves
 	// at report time, so only bytes and waits accumulate here.
 	tel *telemetry.FabricBytes
+
+	// tl is the timeline flight recorder's collector, nil until
+	// EnableTimeline — the same nil-gate idiom as tel: off, each
+	// reservation site pays one nil check and allocates nothing. Under the
+	// sharded scheduler the per-domain collectors live in parState and
+	// this field stays nil (see TimelineShard).
+	tl *timeline.Collector
 
 	// cp is the causal recorder, nil until EnableCritPath — the same
 	// nil-gate idiom as tel. When on, each delivery builds one
@@ -225,6 +233,9 @@ func (v *vnArrival) Arrive(tail sim.Time) {
 		f.tel.VNProxy[v.node] += v.bytes
 		f.tel.VNProxyWait[v.node] += start - tail
 	}
+	if f.tl != nil {
+		f.tl.Sample(timeline.VNProxy, tail, start, start+dur)
+	}
 	arr := start + dur + v.extra
 	if v.edge != 0 {
 		// Finish the edge's decomposition with the receive-side proxy
@@ -326,6 +337,9 @@ func (f *Fabric) deliverRemote(at sim.Time, msg Msg, onArrive sim.Arriver) Timel
 			f.tel.VNProxy[msg.SrcNode] += msg.Bytes
 			f.tel.VNProxyWait[msg.SrcNode] += start - t
 		}
+		if f.tl != nil {
+			f.tl.Sample(timeline.VNProxy, t, start, start+nic.VNProxyUS*usToS)
+		}
 		if e != nil {
 			e.InjWait += start - t
 			e.Inject += nic.VNProxyUS * usToS
@@ -342,6 +356,9 @@ func (f *Fabric) deliverRemote(at sim.Time, msg Msg, onArrive sim.Arriver) Timel
 		f.tel.NICTxWait[msg.SrcNode] += t0 - t
 		f.tel.Hop += msg.Bytes * int64(hops)
 	}
+	if f.tl != nil {
+		f.tl.Sample(timeline.NIC, t, t0, t0+injTime)
+	}
 	if e != nil {
 		e.InjWait += t0 - t
 		e.Inject += injTime
@@ -356,6 +373,7 @@ func (f *Fabric) deliverRemote(at sim.Time, msg Msg, onArrive sim.Arriver) Timel
 	lastSer := 0.0
 	linkWaitSum := 0.0
 	tel := f.tel // hoisted: Reserve can't alias it, but the compiler can't tell
+	tl := f.tl
 	for _, id := range route {
 		bw := link.BW
 		if f.derate != nil {
@@ -367,6 +385,9 @@ func (f *Fabric) deliverRemote(at sim.Time, msg Msg, onArrive sim.Arriver) Timel
 		if tel != nil {
 			tel.Link[id] += msg.Bytes
 			tel.LinkWait[id] += s - req
+		}
+		if tl != nil {
+			tl.Sample(timeline.Link, req, s, s+linkSer)
 		}
 		if e != nil {
 			if wv := s - req; wv > 0 {
@@ -506,6 +527,16 @@ func (f *Fabric) EnableTelemetry() *telemetry.FabricBytes {
 
 // TelemetryEnabled reports whether EnableTelemetry has been called.
 func (f *Fabric) TelemetryEnabled() bool { return f.tel != nil }
+
+// EnableTimeline installs the serial timeline collector (nil-gated, like
+// tel): each subsequent reservation is sampled into its fixed-width bins.
+// Under the sharded scheduler use TimelineShard instead, which hands every
+// domain its own collector.
+func (f *Fabric) EnableTimeline(c *timeline.Collector) { f.tl = c }
+
+// NumLinks reports the number of directed torus links — the Link-class
+// resource count for timeline utilization normalisation.
+func (f *Fabric) NumLinks() int { return len(f.links) }
 
 // EnableCritPath installs the causal recorder (nil-gated, like tel); each
 // delivery then records a happens-before edge with per-stage time

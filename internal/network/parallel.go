@@ -27,6 +27,7 @@ import (
 
 	"xtsim/internal/machine"
 	"xtsim/internal/sim"
+	"xtsim/internal/timeline"
 	"xtsim/internal/torus"
 )
 
@@ -48,7 +49,12 @@ type fabricDomain struct {
 	msgs, bytes uint64
 	foreignHops uint64
 	routes      *torus.RouteCache
-	_           [4]uint64
+	// tl is this slab's private timeline collector, nil unless the system
+	// enabled the flight recorder. Worker-local like every other field, so
+	// sampling needs no synchronisation; the recorder folds the collectors
+	// deterministically after the terminal window barrier.
+	tl *timeline.Collector
+	_  [4]uint64
 }
 
 // parState is the fabric's parallel-mode attachment.
@@ -87,6 +93,24 @@ func (f *Fabric) EnableParallel(sh *sim.ShardedEngine, part torus.Partition) {
 		p.dom[i].routes = torus.NewRouteCache(f.Tor, cacheMax)
 	}
 	f.par = p
+}
+
+// TimelineShard hands each slab its private timeline collector (index =
+// domain). The serial collector pointer (EnableTimeline) must be nil in
+// parallel mode — per-domain sampling replaces it entirely. Call after
+// EnableParallel and before any traffic.
+func (f *Fabric) TimelineShard(doms []*timeline.Collector) {
+	p := f.par
+	if p == nil {
+		panic("network: TimelineShard before EnableParallel")
+	}
+	if len(doms) != len(p.dom) {
+		panic(fmt.Sprintf("network: %d timeline collectors vs %d fabric domains", len(doms), len(p.dom)))
+	}
+	f.tl = nil
+	for i := range p.dom {
+		p.dom[i].tl = doms[i]
+	}
 }
 
 // DisableParallel restores serial delivery (counters accumulated so far
@@ -188,6 +212,9 @@ func (f *Fabric) deliverParallel(at sim.Time, msg Msg, onArrive sim.Arriver) Tim
 
 	injTime := size / nic.EffBW()
 	t0 := f.nicTx[msg.SrcNode].Reserve(t, injTime)
+	if d.tl != nil {
+		d.tl.Sample(timeline.NIC, t, t0, t0+injTime)
+	}
 
 	// Walk the route exactly as the serial fabric does, but stop reserving
 	// at the first link owned by another slab: Z is routed last and
@@ -212,6 +239,12 @@ func (f *Fabric) deliverParallel(at sim.Time, msg Msg, onArrive sim.Arriver) Tim
 			s = req // uncontended wire time; see package comment
 		} else {
 			s = f.links[id].Reserve(req, linkSer)
+		}
+		if d.tl != nil {
+			// Foreign hops sampled by the sending slab at wire time (zero
+			// wait, s == req) — outside the zero-foreign-hop equivalence
+			// class only, where byte identity is not promised anyway.
+			d.tl.Sample(timeline.Link, req, s, s+linkSer)
 		}
 		head = s
 		lastStart = s

@@ -85,6 +85,7 @@ type OptionsSchema struct {
 	Shards    string `json:"shards"`
 	Hybrid    string `json:"hybrid"`
 	CkptEvery string `json:"ckpt_every"`
+	Timeline  string `json:"timeline"`
 }
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
@@ -102,6 +103,7 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 			Shards:    "int — parallelism inside experiments (worker-pool sweeps, sharded scheduler); rendered output is byte-identical to serial",
 			Hybrid:    "string — hybrid rank fast path: \"exact\" or \"analytic\" requests that tier, \"off\" forces the event-driven engine, \"\" keeps per-experiment defaults; \"exact\" output is byte-identical to the DES",
 			CkptEvery: "int — checkpoint cadence in steps for checkpoint-aware experiments (ext-ckpt); 0 keeps each experiment's default, negative is rejected",
+			Timeline:  "bool — attach the phase-resolved timeline JSON export to experiments that record it (ext-timeline)",
 		},
 	})
 }

@@ -180,6 +180,10 @@ type store struct {
 	completed uint64
 	failed    uint64 // completed jobs with ≥1 failed experiment
 	rejected  uint64
+	// per-experiment cache outcomes across all jobs: how many experiment
+	// slots were served from the memo cache vs actually simulated.
+	expCached    uint64
+	expSimulated uint64
 }
 
 func newStore() *store {
@@ -193,21 +197,36 @@ func (s *store) get(id string) (*Job, bool) {
 	return j, ok
 }
 
+// tallyOutcomes accumulates one job's per-experiment cache outcomes.
+func (s *store) tallyOutcomes(cached, simulated uint64) {
+	s.mu.Lock()
+	s.expCached += cached
+	s.expSimulated += simulated
+	s.mu.Unlock()
+}
+
 // JobStats is the jobs section of the metrics endpoint.
 type JobStats struct {
 	Submitted uint64 `json:"submitted"`
 	Completed uint64 `json:"completed"`
 	Failed    uint64 `json:"failed"`
 	Rejected  uint64 `json:"rejected"`
+	// ExperimentsCached / ExperimentsSimulated count experiment slots
+	// across all jobs by cache outcome: served from the memo cache vs run
+	// through the simulator.
+	ExperimentsCached    uint64 `json:"experiments_cached"`
+	ExperimentsSimulated uint64 `json:"experiments_simulated"`
 }
 
 func (s *store) stats() JobStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return JobStats{
-		Submitted: s.submitted,
-		Completed: s.completed,
-		Failed:    s.failed,
-		Rejected:  s.rejected,
+		Submitted:            s.submitted,
+		Completed:            s.completed,
+		Failed:               s.failed,
+		Rejected:             s.rejected,
+		ExperimentsCached:    s.expCached,
+		ExperimentsSimulated: s.expSimulated,
 	}
 }

@@ -33,7 +33,9 @@ import (
 	"runtime"
 	"time"
 
+	"xtsim/internal/core"
 	"xtsim/internal/expt"
+	"xtsim/internal/sim"
 )
 
 // Config tunes a Server. The zero value is usable: every field defaults
@@ -189,6 +191,7 @@ func (s *Server) runJob(job *Job) {
 			missIdx = append(missIdx, i)
 		}
 	}
+	s.store.tallyOutcomes(uint64(len(job.exps)-len(missExps)), uint64(len(missExps)))
 
 	if len(missExps) > 0 {
 		r := &expt.Runner{
@@ -269,12 +272,30 @@ func buildEntry(key string, st expt.Status, opts expt.Options) *entry {
 
 // Metrics is the metrics-endpoint document.
 type Metrics struct {
-	Cache CacheStats `json:"cache"`
-	Queue QueueStats `json:"queue"`
-	Jobs  JobStats   `json:"jobs"`
+	Cache  CacheStats  `json:"cache"`
+	Queue  QueueStats  `json:"queue"`
+	Jobs   JobStats    `json:"jobs"`
+	Engine EngineStats `json:"engine"`
 	// UptimeSeconds is host wall-clock since New; nondeterministic,
 	// informational.
 	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// EngineStats is the live simulation-engine section of the metrics
+// endpoint: process-wide monotonic counters from the discrete-event layer,
+// so an operator can see how much simulation work the server has actually
+// done (cache hits execute zero events) and why runs left their requested
+// fast path.
+type EngineStats struct {
+	// EventsExecuted counts discrete events executed by every engine in
+	// the process (serial and sharded domains alike).
+	EventsExecuted uint64 `json:"events_executed"`
+	// WindowBarriers counts conservative time-window barriers crossed by
+	// sharded-scheduler runs.
+	WindowBarriers uint64 `json:"window_barriers"`
+	// Fallbacks tallies parallel/hybrid admission declines and revocations
+	// by reason, sorted for deterministic rendering.
+	Fallbacks []core.FallbackCount `json:"fallbacks,omitempty"`
 }
 
 // QueueStats is the admission section of the metrics endpoint.
@@ -292,7 +313,12 @@ func (s *Server) metrics() Metrics {
 			Capacity: cap(s.queue),
 			Workers:  s.cfg.JobWorkers,
 		},
-		Jobs:          s.store.stats(),
+		Jobs: s.store.stats(),
+		Engine: EngineStats{
+			EventsExecuted: sim.TotalEventsExecuted(),
+			WindowBarriers: sim.TotalWindowBarriers(),
+			Fallbacks:      core.FallbackCounts(),
+		},
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	}
 }

@@ -155,6 +155,15 @@ var totalEvents atomic.Uint64
 // engine itself is buried inside an experiment.
 func TotalEventsExecuted() uint64 { return totalEvents.Load() }
 
+// totalWindows accumulates window-barrier iterations across every sharded
+// run in the process, the parallel-engine sibling of totalEvents; serve's
+// /metrics exposes it as a live engine gauge.
+var totalWindows atomic.Uint64
+
+// TotalWindowBarriers reports the number of conservative window barriers
+// executed by all sharded engines in this process since it started.
+func TotalWindowBarriers() uint64 { return totalWindows.Load() }
+
 // Engine owns the simulated clock and the pending-event queue. The zero
 // value is not usable; construct with NewEngine.
 type Engine struct {

@@ -245,6 +245,7 @@ func (s *ShardedEngine) Run() Time {
 		if w >= Infinity {
 			break
 		}
+		totalWindows.Add(1)
 		h := w + s.lookahead/2
 		for i := range s.engs {
 			dispatched[i] = next[i] < h

@@ -1,0 +1,59 @@
+package telemetry
+
+import "testing"
+
+// TestIOHistBucketBoundaries pins the histogram's edge behaviour: zero and
+// negative durations land in bucket 0, bucket upper bounds are exclusive,
+// and arbitrarily large durations land in the final unbounded bucket.
+func TestIOHistBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		seconds float64
+		want    int
+	}{
+		{0, 0},
+		{-1, 0},       // clock skew can never index out of range
+		{0.999e-6, 0}, // just under the first upper bound
+		{1e-6, 1},     // exactly on a bound → next bucket (exclusive upper)
+		{2e-6, 2},
+		{3e-6, 2}, // inside [2, 4) µs
+		{1e9, IOHistBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := IOHistBucket(c.seconds); got != c.want {
+			t.Errorf("IOHistBucket(%g) = %d, want %d", c.seconds, got, c.want)
+		}
+	}
+}
+
+// TestIOHistBucketRoundTrip checks IOHistBucket against IOHistUpperSeconds
+// over every bounded bucket: a duration just under bucket i's upper bound
+// maps to i, and the bound itself maps to i+1.
+func TestIOHistBucketRoundTrip(t *testing.T) {
+	for i := 0; i < IOHistBuckets-1; i++ {
+		upper := IOHistUpperSeconds(i)
+		if got := IOHistBucket(0.999 * upper); got != i {
+			t.Errorf("IOHistBucket(0.999×upper(%d)=%g) = %d, want %d", i, 0.999*upper, got, i)
+		}
+		if got := IOHistBucket(upper); got != i+1 {
+			t.Errorf("IOHistBucket(upper(%d)=%g) = %d, want %d", i, upper, got, i+1)
+		}
+	}
+}
+
+// TestObserveWriteTotals checks the ObserveWrite counters agree with the
+// bucket mapping.
+func TestObserveWriteTotals(t *testing.T) {
+	s := NewIOStats(2)
+	s.ObserveWrite(0)    // bucket 0
+	s.ObserveWrite(3e-6) // bucket 2
+	s.ObserveWrite(3e-6) // bucket 2
+	if s.WriteCount != 3 {
+		t.Fatalf("WriteCount = %d, want 3", s.WriteCount)
+	}
+	if s.WriteHist[0] != 1 || s.WriteHist[2] != 2 {
+		t.Fatalf("WriteHist = %v, want bucket0=1 bucket2=2", s.WriteHist[:4])
+	}
+	if want := 6e-6; s.WriteSeconds != want {
+		t.Fatalf("WriteSeconds = %g, want %g", s.WriteSeconds, want)
+	}
+}

@@ -1,0 +1,41 @@
+package telemetry
+
+import "testing"
+
+// TestHalveSeriesOddLength pins the doubling idiom on an odd-length series:
+// the trailing unpaired cell merges with an implicit zero, the bucket width
+// doubles, and the byte/message totals are conserved.
+func TestHalveSeriesOddLength(t *testing.T) {
+	series := []seriesCell{
+		{bytes: 1, msgs: 10},
+		{bytes: 2, msgs: 20},
+		{bytes: 4, msgs: 40},
+		{bytes: 8, msgs: 80},
+		{bytes: 16, msgs: 160},
+	}
+	bucket := 1e-4
+	halveSeries(&series, &bucket)
+	if bucket != 2e-4 {
+		t.Fatalf("bucket = %g, want 2e-4", bucket)
+	}
+	want := []seriesCell{
+		{bytes: 3, msgs: 30},
+		{bytes: 12, msgs: 120},
+		{bytes: 16, msgs: 160}, // odd tail pairs with zero
+	}
+	if len(series) != len(want) {
+		t.Fatalf("len = %d, want %d", len(series), len(want))
+	}
+	var gotBytes int64
+	var gotMsgs uint64
+	for i := range want {
+		if series[i] != want[i] {
+			t.Errorf("cell %d = %+v, want %+v", i, series[i], want[i])
+		}
+		gotBytes += series[i].bytes
+		gotMsgs += series[i].msgs
+	}
+	if gotBytes != 31 || gotMsgs != 310 {
+		t.Fatalf("totals not conserved: %d bytes, %d msgs", gotBytes, gotMsgs)
+	}
+}

@@ -46,13 +46,17 @@ type ParallelReport struct {
 	Domains     []DomainWindowStats `json:"domains"`
 }
 
-// StripWallClock zeroes the wall-clock fields so the remaining report is a
-// pure function of the simulated workload; returns the report.
+// StripWallClock returns a copy of the report with the wall-clock fields
+// zeroed, so the copy is a pure function of the simulated workload. The
+// receiver is left untouched — callers can export the deterministic form
+// and still read the original's stall measurements afterwards.
 func (r *ParallelReport) StripWallClock() *ParallelReport {
-	for i := range r.Domains {
-		r.Domains[i].BarrierStallSeconds = 0
+	out := *r
+	out.Domains = append([]DomainWindowStats(nil), r.Domains...)
+	for i := range out.Domains {
+		out.Domains[i].BarrierStallSeconds = 0
 	}
-	return r
+	return &out
 }
 
 // WriteJSON writes the report as indented JSON; deterministic after

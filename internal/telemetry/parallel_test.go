@@ -1,0 +1,33 @@
+package telemetry
+
+import "testing"
+
+// TestStripWallClockNonMutating pins StripWallClock's copy semantics: the
+// deterministic export must not destroy the receiver's stall measurements
+// (a caller that exports JSON and then renders a stall summary reads the
+// original afterwards).
+func TestStripWallClockNonMutating(t *testing.T) {
+	orig := &ParallelReport{
+		SchemaVersion:    SchemaVersion,
+		LookaheadSeconds: 2e-6,
+		ForeignHops:      3,
+		Domains: []DomainWindowStats{
+			{Domain: 0, Windows: 10, Events: 100, BarrierStallSeconds: 1.5},
+			{Domain: 1, Windows: 10, Events: 90, BarrierStallSeconds: 0.25},
+		},
+	}
+	got := orig.StripWallClock()
+	for i, d := range got.Domains {
+		if d.BarrierStallSeconds != 0 {
+			t.Errorf("stripped domain %d BarrierStallSeconds = %v, want 0", i, d.BarrierStallSeconds)
+		}
+	}
+	if orig.Domains[0].BarrierStallSeconds != 1.5 || orig.Domains[1].BarrierStallSeconds != 0.25 {
+		t.Fatalf("StripWallClock mutated the receiver: %+v", orig.Domains)
+	}
+	// The deterministic fields carry over unchanged.
+	if got.LookaheadSeconds != orig.LookaheadSeconds || got.ForeignHops != orig.ForeignHops ||
+		len(got.Domains) != len(orig.Domains) || got.Domains[1].Events != 90 {
+		t.Fatalf("StripWallClock dropped deterministic fields: %+v", got)
+	}
+}

@@ -105,8 +105,16 @@ type chromeEvent struct {
 // WriteChromeTrace emits the trace as a Chrome trace-event JSON array.
 // Ranks appear as threads of one process, ordered by rank.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
-	events := make([]chromeEvent, 0, len(r.spans))
-	for _, s := range r.spans {
+	return WriteSpans(w, r.spans)
+}
+
+// WriteSpans emits spans as a Chrome trace-event JSON array ("X" complete
+// events, ranks as threads of one process, ordered by rank). Shared by the
+// trace recorder and the timeline flight recorder's span export, so both
+// produce files chrome://tracing / Perfetto open directly.
+func WriteSpans(w io.Writer, spans []Span) error {
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
 		events = append(events, chromeEvent{
 			Name: s.Name,
 			Ph:   "X",

@@ -1,4 +1,4 @@
-package trace
+package trace_test
 
 import (
 	"bytes"
@@ -9,10 +9,11 @@ import (
 	"xtsim/internal/core"
 	"xtsim/internal/machine"
 	"xtsim/internal/mpi"
+	"xtsim/internal/trace"
 )
 
 func TestRecordAndAggregate(t *testing.T) {
-	var r Recorder
+	var r trace.Recorder
 	r.Record(0, "compute", 0, 1)
 	r.Record(0, "Allreduce", 1, 1.5)
 	r.Record(1, "compute", 0, 2)
@@ -26,7 +27,7 @@ func TestRecordAndAggregate(t *testing.T) {
 }
 
 func TestRecordRejectsInvertedSpan(t *testing.T) {
-	var r Recorder
+	var r trace.Recorder
 	defer func() {
 		if recover() == nil {
 			t.Error("inverted span did not panic")
@@ -36,7 +37,7 @@ func TestRecordRejectsInvertedSpan(t *testing.T) {
 }
 
 func TestCapDropsExcess(t *testing.T) {
-	r := Recorder{Cap: 2}
+	r := trace.Recorder{Cap: 2}
 	for i := 0; i < 5; i++ {
 		r.Record(0, "s", float64(i), float64(i)+1)
 	}
@@ -46,7 +47,7 @@ func TestCapDropsExcess(t *testing.T) {
 }
 
 func TestCapZeroIsUnlimited(t *testing.T) {
-	var r Recorder
+	var r trace.Recorder
 	for i := 0; i < 100; i++ {
 		r.Record(0, "s", float64(i), float64(i)+1)
 	}
@@ -56,13 +57,13 @@ func TestCapZeroIsUnlimited(t *testing.T) {
 }
 
 func TestByNameSorted(t *testing.T) {
-	var r Recorder
+	var r trace.Recorder
 	r.Record(0, "compute", 0, 3)
 	r.Record(0, "Allreduce", 3, 4)
 	r.Record(1, "Barrier", 0, 1)
 	got := r.ByNameSorted()
 	// compute (3s) first, then Allreduce/Barrier (1s each) alphabetically.
-	want := []NameTotal{{"compute", 3}, {"Allreduce", 1}, {"Barrier", 1}}
+	want := []trace.NameTotal{{"compute", 3}, {"Allreduce", 1}, {"Barrier", 1}}
 	if len(got) != len(want) {
 		t.Fatalf("entries = %v", got)
 	}
@@ -74,7 +75,7 @@ func TestByNameSorted(t *testing.T) {
 }
 
 func TestChromeTraceIsValidJSON(t *testing.T) {
-	var r Recorder
+	var r trace.Recorder
 	r.Record(1, "compute", 0.5, 1.0)
 	r.Record(0, "Recv", 0, 0.25)
 	var buf bytes.Buffer
@@ -105,7 +106,7 @@ func TestChromeTraceIsValidJSON(t *testing.T) {
 // published interchange format and the trace is advertised as a
 // deterministic artifact, so any byte change is a compatibility event.
 func TestChromeTraceGoldenBytes(t *testing.T) {
-	var r Recorder
+	var r trace.Recorder
 	r.Record(1, "compute", 0.5, 1.0)
 	r.Record(0, "Recv", 0, 0.25)
 	var buf bytes.Buffer
@@ -122,7 +123,7 @@ func TestChromeTraceGoldenBytes(t *testing.T) {
 // spans with negative start times, must clamp into the row instead of
 // indexing out of range.
 func TestGanttClampsOutOfRangeSpans(t *testing.T) {
-	var r Recorder
+	var r trace.Recorder
 	r.Record(0, "a", 0, 1)
 	r.Record(0, "end", 1, 1)      // zero-length span exactly at tEnd
 	r.Record(1, "neg", -0.5, 0.1) // negative start (Record allows it)
@@ -140,7 +141,7 @@ func TestGanttClampsOutOfRangeSpans(t *testing.T) {
 }
 
 func TestGanttRendersRows(t *testing.T) {
-	var r Recorder
+	var r trace.Recorder
 	r.Record(0, "compute", 0, 0.5)
 	r.Record(1, "Barrier", 0.5, 1.0)
 	var buf bytes.Buffer
@@ -160,7 +161,7 @@ func TestGanttRendersRows(t *testing.T) {
 }
 
 func TestGanttEmptyTrace(t *testing.T) {
-	var r Recorder
+	var r trace.Recorder
 	var buf bytes.Buffer
 	if err := r.Gantt(&buf, 10); err != nil {
 		t.Fatal(err)
@@ -174,7 +175,7 @@ func TestGanttEmptyTrace(t *testing.T) {
 // compute and MPI spans appear with simulated timestamps.
 func TestRecorderCapturesSimulation(t *testing.T) {
 	sys := core.NewSystem(machine.XT4(), machine.SN, 4)
-	var rec Recorder
+	var rec trace.Recorder
 	sys.Tracer = &rec
 	end := mpi.Run(sys, mpi.Algorithmic, func(p *mpi.P) {
 		p.Compute(core.Work{Flops: 1e8, FlopEff: 0.5})

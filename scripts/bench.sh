@@ -35,7 +35,8 @@ go test -run '^$' -benchmem -benchtime "$micro_time" \
   -bench 'BenchmarkMPI' \
   ./internal/mpi | tee -a "$tmp"
 # BenchmarkExt covers the parallel-scheduler benches (serial vs sharded
-# pairs); the Fig9/Fig11 Shards4 variants ride on the BenchmarkFig pattern;
+# pairs) and the ext-timeline artifact; the Fig9/Fig11 Shards4 variants and
+# the Fig9 Timeline on/off pair ride on the BenchmarkFig pattern;
 # BenchmarkIORSweep/BenchmarkS3DCheckpoint are the I/O-subsystem artifacts.
 go test -run '^$' -benchmem -benchtime "$fig_time" \
   -bench 'BenchmarkTable|BenchmarkFig|BenchmarkAblation|BenchmarkExt|BenchmarkIORSweep|BenchmarkS3DCheckpoint' \

@@ -59,7 +59,26 @@ grep -q 'Figure 3' "$WORK/first.txt" || {
 # must have advanced.
 curl -fsS "$BASE/jobs/$id2" | grep -q '"experiments_cached": 1' || {
   echo "serve_smoke: $id2 did not report a cache hit" >&2; exit 1; }
-hits=$(curl -fsS "$BASE/metrics" | sed -n 's/.*"hits": *\([0-9]*\).*/\1/p')
+curl -fsS "$BASE/metrics" > "$WORK/metrics.json"
+hits=$(sed -n 's/.*"hits": *\([0-9]*\).*/\1/p' "$WORK/metrics.json")
 [ "${hits:-0}" -ge 1 ] || { echo "serve_smoke: cache hit counter is $hits, want >= 1" >&2; exit 1; }
 
-echo "serve_smoke: OK ($(wc -c < "$WORK/first.txt") byte result served twice, $hits cache hits)"
+# Engine gauges: the server has simulated at least one experiment by now,
+# so the process-wide discrete-event counter must be nonzero; the window
+# barrier gauge exists but stays 0 (no sharded campaign was submitted);
+# and the jobs section must split experiment slots by cache outcome.
+events=$(sed -n 's/.*"events_executed": *\([0-9]*\).*/\1/p' "$WORK/metrics.json")
+[ "${events:-0}" -ge 1 ] || {
+  echo "serve_smoke: engine.events_executed is ${events:-absent}, want >= 1" >&2
+  cat "$WORK/metrics.json" >&2; exit 1; }
+grep -q '"window_barriers"' "$WORK/metrics.json" || {
+  echo "serve_smoke: /metrics is missing engine.window_barriers" >&2
+  cat "$WORK/metrics.json" >&2; exit 1; }
+cached=$(sed -n 's/.*"experiments_cached": *\([0-9]*\).*/\1/p' "$WORK/metrics.json")
+simulated=$(sed -n 's/.*"experiments_simulated": *\([0-9]*\).*/\1/p' "$WORK/metrics.json")
+[ "${cached:-0}" -ge 1 ] || {
+  echo "serve_smoke: jobs.experiments_cached is ${cached:-absent}, want >= 1" >&2; exit 1; }
+[ "${simulated:-0}" -ge 1 ] || {
+  echo "serve_smoke: jobs.experiments_simulated is ${simulated:-absent}, want >= 1" >&2; exit 1; }
+
+echo "serve_smoke: OK ($(wc -c < "$WORK/first.txt") byte result served twice, $hits cache hits, $events engine events)"
